@@ -1,0 +1,54 @@
+"""Shared fixtures for the table/figure regeneration benchmarks.
+
+Each benchmark file regenerates one table or figure of the paper's
+evaluation section (see DESIGN.md for the per-experiment index).  Captures
+of the four paper workloads are produced once per session and shared, and
+every benchmark writes its rendered table/series to
+``benchmarks/results/<experiment>.txt`` so the numbers quoted in
+EXPERIMENTS.md can be re-derived from a single run.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Dict
+
+import pytest
+
+from repro.bench.harness import CaptureResult, capture_workload
+from repro.workloads import build_workload
+
+RESULTS_DIR = Path(__file__).resolve().parent / "results"
+
+#: The four evaluated workloads of Section 6.2, at their paper-style
+#: (default) configurations.
+PAPER_WORKLOADS = ("param_linear", "resnet", "asr", "rm")
+
+
+@pytest.fixture(scope="session")
+def paper_captures() -> Dict[str, CaptureResult]:
+    """One captured iteration per paper workload on the A100 model."""
+    captures: Dict[str, CaptureResult] = {}
+    for name in PAPER_WORKLOADS:
+        workload = build_workload(name)
+        captures[name] = capture_workload(workload, device="A100", warmup_iterations=1)
+    return captures
+
+
+@pytest.fixture(scope="session")
+def paper_workload_factory():
+    """Factory producing fresh paper-scale workload instances."""
+    return build_workload
+
+
+def save_report(name: str, text: str) -> Path:
+    """Persist a rendered table/series under benchmarks/results/."""
+    RESULTS_DIR.mkdir(parents=True, exist_ok=True)
+    path = RESULTS_DIR / f"{name}.txt"
+    path.write_text(text + "\n")
+    return path
+
+
+@pytest.fixture
+def report_writer():
+    return save_report

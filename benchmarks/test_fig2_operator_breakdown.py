@@ -1,0 +1,58 @@
+"""Figure 2 — operator-category breakdown of a production model on 8 GPUs.
+
+Reproduces the count / CPU-time / exposed-GPU-time fractions per operator
+category (ATen, Comms, Fused, Custom) for the RM workload running
+data-parallel on 8 GPUs.  The paper's qualitative findings:
+
+* ATen operators dominate all three metrics,
+* fused operators are second in count but negligible in GPU time,
+* custom and communication operators are few but expensive on the GPU.
+"""
+
+from repro.bench.reporting import format_table
+from repro.et.analyzer import ALL_CATEGORIES, ETAnalyzer
+from repro.workloads.ddp import DistributedRunner
+from repro.workloads.rm import RMConfig, RMWorkload
+
+from benchmarks.conftest import save_report
+
+
+def run_fig2():
+    runner = DistributedRunner(
+        lambda rank, world: RMWorkload(RMConfig(), rank=rank, world_size=world),
+        world_size=8,
+    )
+    capture = runner.run(ranks_to_simulate=1)[0]
+    analyzer = ETAnalyzer(capture.execution_trace, capture.profiler_trace)
+    return analyzer.category_breakdown()
+
+
+def test_fig2_operator_breakdown(benchmark):
+    breakdown = benchmark.pedantic(run_fig2, rounds=1, iterations=1)
+    count = breakdown.count_fractions()
+    cpu = breakdown.cpu_time_fractions()
+    gpu = breakdown.gpu_exposed_fractions()
+
+    rows = [
+        [category, count[category], cpu[category], gpu[category]]
+        for category in ALL_CATEGORIES
+    ]
+    text = format_table(
+        ["Category", "Count fraction", "CPU time fraction", "Exposed GPU time fraction"],
+        rows,
+        title="Figure 2: operator breakdown, RM on 8 GPUs",
+    )
+    save_report("fig2_operator_breakdown", text)
+    print("\n" + text)
+
+    # ATen dominates count and CPU time (paper: "lion share" on all metrics).
+    assert count["aten"] == max(count.values())
+    assert cpu["aten"] == max(cpu.values())
+    # Communication and custom operators are few in number...
+    assert count["comms"] < count["aten"]
+    assert count["custom"] < count["aten"]
+    # ...but both are visible in exposed GPU time.
+    assert gpu["comms"] > 0.0
+    assert gpu["custom"] > 0.0
+    # Fused operators have negligible GPU-time impact.
+    assert gpu["fused"] < 0.05

@@ -1,0 +1,26 @@
+"""Table 1 — MLPerf training benchmarks and their last-update dates.
+
+Static reference data that motivates Mystique: curated benchmark suites age
+quickly relative to production workload churn.
+"""
+
+from repro.bench.reporting import MLPERF_TRAINING_BENCHMARKS, format_table
+
+from benchmarks.conftest import save_report
+
+
+def render_table1() -> str:
+    rows = [
+        [entry["area"], entry["model"], entry["last_updated"]]
+        for entry in MLPERF_TRAINING_BENCHMARKS
+    ]
+    return format_table(["Area", "Model", "Last updated"], rows, title="Table 1: MLPerf training benchmarks")
+
+
+def test_table1_mlperf_staleness(benchmark):
+    text = benchmark.pedantic(render_table1, rounds=1, iterations=1)
+    save_report("table1_mlperf", text)
+    print("\n" + text)
+    assert "ResNet-50" in text
+    assert "DLRM" in text
+    assert len(MLPERF_TRAINING_BENCHMARKS) == 7

@@ -1,0 +1,60 @@
+#!/usr/bin/env python3
+"""Quickstart: capture a workload's execution trace and replay it as a benchmark.
+
+This walks the whole Mystique pipeline on the PARAM linear workload:
+
+1. run the model with the ExecutionGraphObserver and profiler hooks attached
+   and capture one training iteration (Section 4.1 of the paper),
+2. replay the captured traces as a generated benchmark and compare its
+   execution time and system-level metrics against the original,
+3. emit a standalone benchmark program plus its trace files, which can be
+   run on its own (``python generated/param_linear_benchmark.py``).
+
+Run with:  python examples/quickstart.py
+"""
+
+from pathlib import Path
+
+from repro.bench.harness import capture_workload, replay_capture
+from repro.core.generator import BenchmarkGenerator
+from repro.core.replayer import ReplayConfig
+from repro.workloads.param_linear import ParamLinearConfig, ParamLinearWorkload
+
+
+def main() -> None:
+    # A reduced PARAM linear model keeps the example fast; drop the config
+    # argument to use the paper-scale 20-layer model.
+    workload = ParamLinearWorkload(
+        ParamLinearConfig(batch_size=256, num_layers=10, hidden_size=1024, input_size=1024)
+    )
+
+    print("== 1. capture one training iteration on the simulated A100 ==")
+    capture = capture_workload(workload, device="A100", warmup_iterations=1)
+    print(f"   execution-trace nodes : {len(capture.execution_trace)}")
+    print(f"   GPU kernels captured  : {len(capture.profiler_trace.kernels())}")
+    print(f"   iteration time        : {capture.iteration_time_us / 1e3:.2f} ms")
+
+    print("== 2. replay the trace as a generated benchmark ==")
+    replay = replay_capture(capture, config=ReplayConfig(device="A100", iterations=3))
+    error = abs(replay.mean_iteration_time_us - capture.iteration_time_us) / capture.iteration_time_us
+    print(f"   replayed operators    : {replay.replayed_ops // 3} per iteration")
+    print(f"   replay time           : {replay.mean_iteration_time_ms:.2f} ms  (error {error * 100:.1f}%)")
+    print(f"   SM utilization        : {capture.system_metrics.sm_utilization_pct:.1f}% -> "
+          f"{replay.system_metrics.sm_utilization_pct:.1f}%")
+    print(f"   HBM bandwidth         : {capture.system_metrics.hbm_bandwidth_gbps:.0f} -> "
+          f"{replay.system_metrics.hbm_bandwidth_gbps:.0f} GB/s")
+    print(f"   GPU power             : {capture.system_metrics.gpu_power_w:.0f} -> "
+          f"{replay.system_metrics.gpu_power_w:.0f} W")
+
+    print("== 3. emit a standalone benchmark program ==")
+    output_dir = Path(__file__).resolve().parent / "generated"
+    artifacts = BenchmarkGenerator(ReplayConfig(device="A100", iterations=5)).write(
+        output_dir, workload.name, capture.execution_trace, capture.profiler_trace
+    )
+    print(f"   benchmark script      : {artifacts.script_path}")
+    print(f"   execution trace       : {artifacts.et_path}")
+    print("   run it with           : python " + str(artifacts.script_path))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,71 @@
+#!/usr/bin/env python3
+"""Distributed trace collection and scaled-down performance emulation.
+
+Reproduces the workflow of Sections 6.6 and 7.3 of the paper on the RM
+(recommendation model) workload:
+
+1. run RM data-parallel across a 64-rank deployment (8-GPU NVLink nodes with
+   a 200 Gb/s NIC per GPU) and collect one execution + profiler trace per
+   rank — ranks are symmetric, so the example simulates two of them,
+2. report the per-GPU metrics of the distributed run (Table 5),
+3. replay the captured rank traces on a 2-rank test setup while keeping the
+   recorded 64-rank process groups, so the communication delay matches the
+   full-scale deployment, and compare the estimated iteration time with the
+   actual 64-GPU run (the scale-down emulation of Section 7.3).
+
+Run with:  python examples/scaled_down_rm.py
+"""
+
+from repro.bench.reporting import format_table
+from repro.core.scaledown import ScaleDownConfig, ScaleDownEmulator
+from repro.workloads.ddp import DistributedRunner
+from repro.workloads.rm import RMConfig, RMWorkload
+
+WORLD_SIZE = 64
+RANKS_TO_SIMULATE = 2
+
+
+def main() -> None:
+    print(f"running RM data-parallel on {WORLD_SIZE} simulated GPUs "
+          f"({RANKS_TO_SIMULATE} symmetric ranks actually simulated) ...")
+    runner = DistributedRunner(
+        lambda rank, world: RMWorkload(
+            RMConfig(batch_size=2048, pooling_factor=64), rank=rank, world_size=world
+        ),
+        world_size=WORLD_SIZE,
+    )
+    captures = runner.run(ranks_to_simulate=RANKS_TO_SIMULATE)
+    aggregate = DistributedRunner.aggregate_metrics(captures)
+
+    print(format_table(
+        ["Metric", "Per-GPU average"],
+        [[key, value] for key, value in aggregate.items()],
+        title=f"RM on {WORLD_SIZE} GPUs (original run)",
+    ))
+
+    print("\nreplaying the captured ranks on a 2-rank test setup "
+          "(recorded 64-rank process groups kept) ...")
+    emulator = ScaleDownEmulator(
+        ScaleDownConfig(emulated_world_size=WORLD_SIZE, replay_ranks=RANKS_TO_SIMULATE)
+    )
+    outcome = emulator.emulate(
+        [capture.execution_trace for capture in captures],
+        [capture.profiler_trace for capture in captures],
+    )
+    estimated = outcome["estimated_iteration_time_ms"]
+    actual = aggregate["execution_time_ms"]
+    error = abs(estimated - actual) / actual * 100
+
+    print(format_table(
+        ["Quantity", "Value"],
+        [
+            [f"actual {WORLD_SIZE}-GPU iteration time (ms)", actual],
+            [f"estimate from {RANKS_TO_SIMULATE}-rank emulation (ms)", estimated],
+            ["estimation error", f"{error:.1f}%"],
+        ],
+        title="Scaled-down performance emulation (Section 7.3)",
+    ))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,37 @@
+"""Reproduction of *Mystique: Enabling Accurate and Scalable Generation of
+Production AI Benchmarks* (Liang et al., ISCA 2023).
+
+The package is organised into:
+
+``repro.torchsim``
+    A PyTorch-like framework substrate: tensors, operators (ATen-style,
+    communication, fused, custom), streams, a profiler, and the
+    ExecutionGraphObserver that captures execution traces.
+
+``repro.hardware``
+    Device specifications and a roofline-style performance model that turns
+    operator invocations into simulated GPU kernel timelines and
+    system-level metrics (SM utilisation, HBM bandwidth, power).
+
+``repro.et``
+    The execution-trace (ET) format, analyzer, builder and similarity
+    comparator.
+
+``repro.core``
+    Mystique itself: operator selection, operator reconstruction, tensor
+    management, communication replay, stream assignment, the ET replayer,
+    standalone benchmark generation, subtrace replay and scaled-down
+    performance emulation.
+
+``repro.workloads``
+    The four evaluated workloads (PARAM linear, ResNet, ASR, RM) and the
+    distributed data-parallel machinery needed to run them.
+
+``repro.bench``
+    Harness utilities that regenerate every table and figure of the paper's
+    evaluation section.
+"""
+
+from repro.version import __version__
+
+__all__ = ["__version__"]

@@ -1,0 +1,40 @@
+"""Benchmark harness utilities.
+
+This subpackage contains the glue the evaluation (tests/ and benchmarks/)
+uses to regenerate every table and figure of the paper:
+
+* :mod:`~repro.bench.harness` — capture a workload's traces, run the
+  original, replay the generated benchmark, and compare the two,
+* :mod:`~repro.bench.metrics` — per-kernel counter aggregation (Figure 6)
+  and operator-time breakdowns (Figure 4),
+* :mod:`~repro.bench.reporting` — plain-text table/series formatting plus
+  the static reference data of Table 1.
+"""
+
+from repro.bench.harness import (
+    CaptureResult,
+    ComparisonResult,
+    OriginalRunResult,
+    capture_workload,
+    compare_workload,
+    replay_capture,
+    run_original,
+)
+from repro.bench.metrics import kernel_counters_by_name, top_kernel_names, operator_gpu_time_breakdown
+from repro.bench.reporting import format_table, format_series, MLPERF_TRAINING_BENCHMARKS
+
+__all__ = [
+    "CaptureResult",
+    "ComparisonResult",
+    "OriginalRunResult",
+    "capture_workload",
+    "compare_workload",
+    "replay_capture",
+    "run_original",
+    "kernel_counters_by_name",
+    "top_kernel_names",
+    "operator_gpu_time_breakdown",
+    "format_table",
+    "format_series",
+    "MLPERF_TRAINING_BENCHMARKS",
+]

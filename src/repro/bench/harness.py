@@ -1,0 +1,219 @@
+"""Capture / run / replay / compare harness.
+
+This is the workflow of Figure 3 wired end to end for a single process:
+
+1. run the workload with the ExecutionGraphObserver and profiler attached
+   and capture one iteration (:func:`capture_workload`),
+2. measure the original workload (:func:`run_original`),
+3. replay the captured traces as a generated benchmark
+   (:func:`replay_capture`),
+4. compare the two (:func:`compare_workload`), producing the Table 4 /
+   Figure 5 quantities: original time, original time excluding unsupported
+   operators, replay time, and the macro system metrics of both runs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.core.registry import ReplaySupport
+from repro.core.replayer import ReplayConfig, Replayer, ReplayResult
+from repro.core.selection import OperatorSelector
+from repro.et.trace import ExecutionTrace
+from repro.hardware.counters import SystemMetrics, compute_system_metrics
+from repro.hardware.gpu import TimelineStats
+from repro.torchsim.kernel import KernelLaunch
+from repro.torchsim.observer import ExecutionGraphObserver
+from repro.torchsim.profiler import Profiler, ProfilerTrace
+from repro.torchsim.runtime import Runtime
+from repro.workloads.base import Workload
+
+
+@dataclass
+class CaptureResult:
+    """Traces and measurements captured from one original iteration."""
+
+    workload_name: str
+    device: str
+    execution_trace: ExecutionTrace
+    profiler_trace: ProfilerTrace
+    iteration_time_us: float
+    timeline_stats: TimelineStats
+    system_metrics: SystemMetrics
+    kernel_launches: List[KernelLaunch] = field(default_factory=list)
+
+
+@dataclass
+class OriginalRunResult:
+    """Measurements of the original workload over several iterations."""
+
+    workload_name: str
+    device: str
+    iteration_times_us: List[float]
+    timeline_stats: TimelineStats
+    system_metrics: SystemMetrics
+    kernel_launches: List[KernelLaunch] = field(default_factory=list)
+
+    @property
+    def mean_iteration_time_us(self) -> float:
+        if not self.iteration_times_us:
+            return 0.0
+        return sum(self.iteration_times_us) / len(self.iteration_times_us)
+
+    @property
+    def mean_iteration_time_ms(self) -> float:
+        return self.mean_iteration_time_us / 1e3
+
+
+@dataclass
+class ComparisonResult:
+    """Original-vs-replay comparison for one workload (one Table 4 row)."""
+
+    workload_name: str
+    device: str
+    original_time_us: float
+    original_time_excl_unsupported_us: float
+    replay_time_us: float
+    original_metrics: SystemMetrics
+    replay_metrics: SystemMetrics
+    coverage_count: float
+    coverage_time: float
+    capture: Optional[CaptureResult] = None
+    replay: Optional[ReplayResult] = None
+
+    @property
+    def replay_error(self) -> float:
+        """Relative error of the replay vs the calibrated original time."""
+        reference = self.original_time_excl_unsupported_us
+        if reference <= 0:
+            return 0.0
+        return abs(self.replay_time_us - reference) / reference
+
+
+# ----------------------------------------------------------------------
+def capture_workload(
+    workload: Workload,
+    device: str = "A100",
+    warmup_iterations: int = 1,
+    power_limit_w: Optional[float] = None,
+    runtime: Optional[Runtime] = None,
+) -> CaptureResult:
+    """Capture the execution trace and profiler trace of one iteration.
+
+    Mirrors the hook placement of Section 4.1: warm-up iterations run
+    without instrumentation, then exactly one iteration is captured.
+    """
+    runtime = runtime if runtime is not None else Runtime(device=device, power_limit_w=power_limit_w)
+    observer = runtime.attach_observer(ExecutionGraphObserver())
+    observer.register_callback(None)
+    profiler = runtime.attach_profiler(Profiler())
+
+    for _ in range(warmup_iterations):
+        workload.run_iteration(runtime)
+        runtime.synchronize()
+
+    observer.start()
+    profiler.start()
+    start = runtime.synchronize()
+    workload.run_iteration(runtime)
+    end = runtime.synchronize()
+    observer.stop()
+    profiler.stop()
+
+    stats = runtime.timeline_stats(window_start=start, window_end=end)
+    metrics = compute_system_metrics(stats, runtime.spec, power_limit_w)
+    trace = observer.trace
+    assert trace is not None
+    trace.metadata.update({"workload": workload.name, "device": device, "world_size": 1})
+    launches = [k for k in runtime.gpu.launches if k.start is not None and k.start >= start]
+    return CaptureResult(
+        workload_name=workload.name,
+        device=device,
+        execution_trace=trace,
+        profiler_trace=profiler.trace,
+        iteration_time_us=end - start,
+        timeline_stats=stats,
+        system_metrics=metrics,
+        kernel_launches=launches,
+    )
+
+
+def run_original(
+    workload: Workload,
+    device: str = "A100",
+    iterations: int = 1,
+    warmup_iterations: int = 1,
+    power_limit_w: Optional[float] = None,
+) -> OriginalRunResult:
+    """Measure the original workload without trace capture."""
+    runtime = Runtime(device=device, power_limit_w=power_limit_w)
+    for _ in range(warmup_iterations):
+        workload.run_iteration(runtime)
+        runtime.synchronize()
+    start = runtime.synchronize()
+    times = workload.run_training(runtime, iterations)
+    end = runtime.synchronize()
+    stats = runtime.timeline_stats(window_start=start, window_end=end)
+    metrics = compute_system_metrics(stats, runtime.spec, power_limit_w)
+    launches = [k for k in runtime.gpu.launches if k.start is not None and k.start >= start]
+    return OriginalRunResult(
+        workload_name=workload.name,
+        device=device,
+        iteration_times_us=times,
+        timeline_stats=stats,
+        system_metrics=metrics,
+        kernel_launches=launches,
+    )
+
+
+def replay_capture(
+    capture: CaptureResult,
+    config: Optional[ReplayConfig] = None,
+    support: Optional[ReplaySupport] = None,
+) -> ReplayResult:
+    """Replay a captured iteration as a generated benchmark."""
+    config = config if config is not None else ReplayConfig(device=capture.device)
+    replayer = Replayer(capture.execution_trace, capture.profiler_trace, config, support=support)
+    return replayer.run()
+
+
+def unsupported_gpu_time_us(capture: CaptureResult, support: Optional[ReplaySupport] = None) -> float:
+    """GPU time of the operators the replay policy cannot reproduce."""
+    selector = OperatorSelector(support if support is not None else ReplaySupport())
+    selection = selector.select(capture.execution_trace, capture.profiler_trace)
+    coverage = selection.coverage()
+    return coverage.total_gpu_time_us - coverage.supported_gpu_time_us
+
+
+def compare_workload(
+    workload: Workload,
+    device: str = "A100",
+    replay_iterations: int = 1,
+    power_limit_w: Optional[float] = None,
+    support: Optional[ReplaySupport] = None,
+    config: Optional[ReplayConfig] = None,
+    capture: Optional[CaptureResult] = None,
+) -> ComparisonResult:
+    """Produce one Table 4 row: original, calibrated original and replay time."""
+    if capture is None:
+        capture = capture_workload(workload, device=device, power_limit_w=power_limit_w)
+    if config is None:
+        config = ReplayConfig(device=device, iterations=replay_iterations, power_limit_w=power_limit_w)
+    replay = replay_capture(capture, config=config, support=support)
+
+    missing = unsupported_gpu_time_us(capture, support)
+    calibrated = max(0.0, capture.iteration_time_us - missing)
+    return ComparisonResult(
+        workload_name=capture.workload_name,
+        device=device,
+        original_time_us=capture.iteration_time_us,
+        original_time_excl_unsupported_us=calibrated,
+        replay_time_us=replay.mean_iteration_time_us,
+        original_metrics=capture.system_metrics,
+        replay_metrics=replay.system_metrics,
+        coverage_count=replay.coverage.count_coverage,
+        coverage_time=replay.coverage.time_coverage,
+        capture=capture,
+        replay=replay,
+    )

@@ -1,0 +1,281 @@
+"""The ET replayer (Section 4.6).
+
+Putting the pipeline together: select the operators to replay, reconstruct a
+callable for each, prepare the necessary tensors, initialise the distributed
+environment if the trace came from a multi-rank job, and then replay the
+operators with the original execution order, input arguments (but not tensor
+values), data dependencies and stream placement, to reproduce the original
+performance characteristics.
+
+The replayer is also the configuration point for the use cases of Section 7:
+subtrace replay, operator-type filtering, and scaled-down performance
+emulation (through the communication-delay knobs).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+from repro.core.comms_replay import CommReplayManager
+from repro.core.reconstruction import OperatorReconstructor, ReconstructionError, ReconstructedOp
+from repro.core.registry import ReplaySupport
+from repro.core.selection import CoverageReport, OperatorSelector, ReplayPlanEntry, SelectionResult
+from repro.core.streams import StreamAssigner, StreamAssignment
+from repro.core.tensors import EmbeddingValueConfig, TensorManager
+from repro.hardware.counters import SystemMetrics, compute_system_metrics
+from repro.hardware.gpu import TimelineStats
+from repro.hardware.network import CollectiveCostModel, InterconnectSpec
+from repro.torchsim.distributed import DistributedContext
+from repro.torchsim.kernel import KernelLaunch
+from repro.torchsim.profiler import Profiler, ProfilerTrace
+from repro.torchsim.runtime import Runtime
+from repro.et.trace import ExecutionTrace
+
+
+@dataclass
+class ReplayConfig:
+    """Everything that controls how a trace is turned into a benchmark run."""
+
+    device: str = "A100"
+    power_limit_w: Optional[float] = None
+    cost_model_mode: str = "roofline"
+    iterations: int = 1
+    warmup_iterations: int = 0
+    skip_unsupported: bool = True
+    subtrace_label: Optional[str] = None
+    categories: Optional[Sequence[str]] = None
+    #: Default values for embedding-lookup index tensors.  The paper sets
+    #: these "empirically, derived by the operators in our production
+    #: environment"; a Zipf-distributed default plays that role here, and
+    #: users can refine it (or disable it by passing ``None`` explicitly).
+    embedding_config: Optional[EmbeddingValueConfig] = field(default_factory=EmbeddingValueConfig)
+    use_streams: bool = True
+    #: World size of the replay's distributed context.  Defaults to the
+    #: world size recorded in the trace metadata (1 for single-GPU traces).
+    world_size: Optional[int] = None
+    rank: int = 0
+    interconnect: Optional[InterconnectSpec] = None
+    #: Remap recorded process groups onto a smaller replay world; leave at
+    #: ``None`` to keep the recorded groups (the scale-down emulation keeps
+    #: them so collectives are priced at the original scale).
+    remap_world_size: Optional[int] = None
+    comm_delay_scale: float = 1.0
+    comm_extra_delay_us: float = 0.0
+    profile: bool = True
+
+
+@dataclass
+class ReplayPlan:
+    """The built (initialisation-phase) state of a replay."""
+
+    selection: SelectionResult
+    reconstructed: Dict[int, ReconstructedOp]
+    stream_assignment: StreamAssignment
+    tensor_manager: TensorManager
+    reconstruction_failures: Dict[int, str] = field(default_factory=dict)
+
+
+@dataclass
+class ReplayResult:
+    """Measurements of one replay run."""
+
+    iteration_times_us: List[float]
+    coverage: CoverageReport
+    replayed_ops: int
+    skipped_ops: int
+    timeline_stats: TimelineStats
+    system_metrics: SystemMetrics
+    profiler_trace: Optional[ProfilerTrace] = None
+    kernel_launches: List[KernelLaunch] = field(default_factory=list)
+
+    @property
+    def mean_iteration_time_us(self) -> float:
+        if not self.iteration_times_us:
+            return 0.0
+        return sum(self.iteration_times_us) / len(self.iteration_times_us)
+
+    @property
+    def mean_iteration_time_ms(self) -> float:
+        return self.mean_iteration_time_us / 1e3
+
+
+class Replayer:
+    """Replays an execution trace as a benchmark."""
+
+    def __init__(
+        self,
+        trace: ExecutionTrace,
+        profiler_trace: Optional[ProfilerTrace] = None,
+        config: Optional[ReplayConfig] = None,
+        support: Optional[ReplaySupport] = None,
+    ) -> None:
+        self.trace = trace
+        self.profiler_trace = profiler_trace
+        self.config = config if config is not None else ReplayConfig()
+        self.support = support if support is not None else ReplaySupport()
+        self.plan: Optional[ReplayPlan] = None
+
+    # ------------------------------------------------------------------
+    # Initialisation phase
+    # ------------------------------------------------------------------
+    def build(self) -> ReplayPlan:
+        """Select, reconstruct and prepare everything needed to replay."""
+        selector = OperatorSelector(self.support)
+        selection = selector.select(
+            self.trace,
+            profiler_trace=self.profiler_trace,
+            subtrace_label=self.config.subtrace_label,
+            categories=self.config.categories,
+        )
+
+        reconstructor = OperatorReconstructor(self.support.registry)
+        group_mapper = CommReplayManager(None, self.config.remap_world_size)
+        reconstructed: Dict[int, ReconstructedOp] = {}
+        failures: Dict[int, str] = {}
+        for entry in selection.supported_entries():
+            node = entry.node
+            if self.config.remap_world_size is not None and entry.category == "comms":
+                node = _with_remapped_group(node, group_mapper)
+            try:
+                reconstructed[entry.node.id] = reconstructor.reconstruct(node)
+            except ReconstructionError as error:
+                entry.supported = False
+                entry.reason = str(error)
+                failures[entry.node.id] = str(error)
+
+        assigner = StreamAssigner()
+        stream_assignment = assigner.assign(self.trace, self.profiler_trace if self.config.use_streams else None)
+
+        tensor_manager = TensorManager(embedding_config=self.config.embedding_config)
+        tensor_manager.classify(selection.entries)
+
+        self.plan = ReplayPlan(
+            selection=selection,
+            reconstructed=reconstructed,
+            stream_assignment=stream_assignment,
+            tensor_manager=tensor_manager,
+            reconstruction_failures=failures,
+        )
+        return self.plan
+
+    def make_runtime(self) -> Runtime:
+        """Create the runtime (and distributed context) the replay runs on."""
+        world_size = self.config.world_size
+        if world_size is None:
+            world_size = int(self.trace.metadata.get("world_size", 1))
+        dist: Optional[DistributedContext] = None
+        if world_size > 1:
+            collective_model = CollectiveCostModel(
+                spec=self.config.interconnect or InterconnectSpec(),
+                delay_scale=self.config.comm_delay_scale,
+                extra_delay_us=self.config.comm_extra_delay_us,
+            )
+            dist = DistributedContext(
+                rank=min(self.config.rank, world_size - 1),
+                world_size=world_size,
+                collective_model=collective_model,
+            )
+        return Runtime(
+            device=self.config.device,
+            power_limit_w=self.config.power_limit_w,
+            cost_model_mode=self.config.cost_model_mode,
+            rank=self.config.rank,
+            dist=dist,
+        )
+
+    # ------------------------------------------------------------------
+    # Execution phase
+    # ------------------------------------------------------------------
+    def run(self, runtime: Optional[Runtime] = None) -> ReplayResult:
+        """Execute the replay and measure the generated benchmark."""
+        if self.plan is None:
+            self.build()
+        plan = self.plan
+        assert plan is not None
+
+        runtime = runtime if runtime is not None else self.make_runtime()
+        if runtime.dist is not None:
+            comm_manager = CommReplayManager(runtime.dist, self.config.remap_world_size)
+            comm_manager.ensure_groups(CommReplayManager.extract(self.trace))
+
+        profiler: Optional[Profiler] = None
+        if self.config.profile:
+            profiler = runtime.attach_profiler(Profiler())
+
+        # Warm-up iterations are not measured and not profiled.
+        for _ in range(self.config.warmup_iterations):
+            self._replay_once(runtime, plan)
+
+        if profiler is not None:
+            profiler.start()
+        measure_start = runtime.synchronize()
+        iteration_times: List[float] = []
+        replayed = 0
+        skipped = 0
+        for _ in range(max(1, self.config.iterations)):
+            start = runtime.synchronize()
+            iteration_replayed, iteration_skipped = self._replay_once(runtime, plan)
+            end = runtime.synchronize()
+            iteration_times.append(end - start)
+            replayed += iteration_replayed
+            skipped += iteration_skipped
+        measure_end = runtime.synchronize()
+        if profiler is not None:
+            profiler.stop()
+
+        stats = runtime.timeline_stats(window_start=measure_start, window_end=measure_end)
+        metrics = compute_system_metrics(stats, runtime.spec, self.config.power_limit_w)
+        launches = [
+            launch for launch in runtime.gpu.launches
+            if launch.start is not None and launch.start >= measure_start
+        ]
+        return ReplayResult(
+            iteration_times_us=iteration_times,
+            coverage=plan.selection.coverage(),
+            replayed_ops=replayed,
+            skipped_ops=skipped,
+            timeline_stats=stats,
+            system_metrics=metrics,
+            profiler_trace=profiler.trace if profiler is not None else None,
+            kernel_launches=launches,
+        )
+
+    # ------------------------------------------------------------------
+    def _replay_once(self, runtime: Runtime, plan: ReplayPlan) -> tuple:
+        """Replay every selected operator once, in execution order."""
+        replayed = 0
+        skipped = 0
+        plan.tensor_manager.reset_intermediates()
+        for entry in plan.selection.entries:
+            if not entry.supported:
+                skipped += 1
+                continue
+            reconstructed = plan.reconstructed.get(entry.node.id)
+            if reconstructed is None:
+                skipped += 1
+                continue
+            tensors = plan.tensor_manager.gather_inputs(entry.node)
+            stream = (
+                plan.stream_assignment.stream_for(entry.node.id)
+                if self.config.use_streams
+                else plan.stream_assignment.default_stream
+            )
+            result = reconstructed.function(runtime, *tensors, stream=stream)
+            plan.tensor_manager.register_outputs(entry.node, result)
+            replayed += 1
+        return replayed, skipped
+
+
+def _with_remapped_group(node, group_mapper: CommReplayManager):
+    """Copy of a communication node with its process group remapped."""
+    from repro.et.schema import ETNode
+
+    copy = ETNode.from_dict(node.to_dict())
+    copy.inputs = [
+        group_mapper.map_group(value)
+        if type_str == "Dict" and isinstance(value, dict) and "ranks" in value
+        else value
+        for value, type_str in zip(copy.inputs, copy.input_types)
+    ]
+    return copy

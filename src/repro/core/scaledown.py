@@ -1,0 +1,143 @@
+"""Scaled-down performance emulation (Section 7.3).
+
+Training jobs that need hundreds of GPUs are expensive to benchmark at full
+scale.  For data-parallel training the local computation per worker does not
+change with the worker count — only the communication cost does — so a
+large-scale run can be emulated on a small test setup by replaying a
+captured rank's trace and adding a *dummy delay* to the communication path
+that accounts for the difference between the small test scale and the large
+deployment scale.  The delay is derived from the network cost model.
+
+Two modes are provided:
+
+* **as-recorded** — replay the trace with the recorded process groups, so
+  collectives are priced at the scale the trace was captured at (this is
+  the paper's experiment: reproduce the 64-GPU RM iteration time on a
+  2-GPU setup), and
+* **emulated-scale** — price collectives as if the job ran at a different
+  world size than the captured one, by scaling the communication delay with
+  the cost-model ratio between the two scales.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+from repro.core.comms_replay import CommReplayManager
+from repro.core.replayer import ReplayConfig, Replayer, ReplayResult
+from repro.core.registry import ReplaySupport
+from repro.hardware.network import CollectiveCostModel, InterconnectSpec
+from repro.et.trace import ExecutionTrace
+from repro.torchsim.profiler import ProfilerTrace
+
+
+@dataclass
+class ScaleDownConfig:
+    """Configuration of a scaled-down emulation run."""
+
+    #: World size of the deployment whose performance we want to estimate.
+    emulated_world_size: int
+    #: Number of ranks actually used for the emulation (the test setup).
+    replay_ranks: int = 2
+    device: str = "A100"
+    interconnect: InterconnectSpec = InterconnectSpec()
+    iterations: int = 1
+
+    def __post_init__(self) -> None:
+        if self.replay_ranks < 1:
+            raise ValueError("replay_ranks must be at least 1")
+        if self.emulated_world_size < self.replay_ranks:
+            raise ValueError("emulated_world_size must be >= replay_ranks")
+
+
+class ScaleDownEmulator:
+    """Estimates large-scale iteration time from a small-scale replay."""
+
+    def __init__(self, config: ScaleDownConfig, support: Optional[ReplaySupport] = None):
+        self.config = config
+        self.support = support
+
+    # ------------------------------------------------------------------
+    def communication_delay_scale(self, trace: ExecutionTrace, captured_world_size: int) -> float:
+        """Extra delay factor for collectives when the emulated scale differs
+        from the captured scale.
+
+        The factor is the cost-model ratio of the average collective at the
+        emulated scale vs. at the captured scale, so replaying a trace that
+        was captured at ``captured_world_size`` emulates a deployment of
+        ``emulated_world_size`` ranks.
+        """
+        if captured_world_size == self.config.emulated_world_size:
+            return 1.0
+        model = CollectiveCostModel(self.config.interconnect)
+        records = CommReplayManager.extract(trace)
+        if not records:
+            return 1.0
+        captured_total = 0.0
+        emulated_total = 0.0
+        for record in records:
+            op = record.name.split("::")[-1]
+            captured_total += model.collective_us(op, record.bytes_per_rank, captured_world_size)
+            emulated_total += model.collective_us(op, record.bytes_per_rank, self.config.emulated_world_size)
+        if captured_total <= 0:
+            return 1.0
+        return emulated_total / captured_total
+
+    # ------------------------------------------------------------------
+    def emulate_rank(
+        self,
+        trace: ExecutionTrace,
+        profiler_trace: Optional[ProfilerTrace] = None,
+        rank: int = 0,
+    ) -> ReplayResult:
+        """Replay one captured rank on the small test setup.
+
+        The recorded process groups are kept, so collectives are priced at
+        the captured deployment's scale; if the emulated scale differs from
+        the captured one, the communication delay is additionally scaled by
+        the cost-model ratio.
+        """
+        captured_world_size = int(trace.metadata.get("world_size", self.config.emulated_world_size))
+        delay_scale = self.communication_delay_scale(trace, captured_world_size)
+        config = ReplayConfig(
+            device=self.config.device,
+            iterations=self.config.iterations,
+            world_size=max(2, self.config.replay_ranks),
+            rank=min(rank, self.config.replay_ranks - 1),
+            interconnect=self.config.interconnect,
+            comm_delay_scale=delay_scale,
+        )
+        replayer = Replayer(trace, profiler_trace, config, support=self.support)
+        return replayer.run()
+
+    def emulate(
+        self,
+        traces: List[ExecutionTrace],
+        profiler_traces: Optional[List[ProfilerTrace]] = None,
+    ) -> Dict[str, object]:
+        """Replay ``replay_ranks`` captured ranks and aggregate the estimate.
+
+        Returns a dictionary with per-rank results and the estimated
+        large-scale iteration time (the mean across the replayed ranks —
+        data-parallel ranks are symmetric, so a couple of ranks suffice).
+        """
+        selected = traces[: self.config.replay_ranks]
+        results: List[ReplayResult] = []
+        for rank, trace in enumerate(selected):
+            profiler_trace = None
+            if profiler_traces is not None and rank < len(profiler_traces):
+                profiler_trace = profiler_traces[rank]
+            results.append(self.emulate_rank(trace, profiler_trace, rank=rank))
+        mean_time_us = (
+            sum(result.mean_iteration_time_us for result in results) / len(results)
+            if results
+            else 0.0
+        )
+        return {
+            "per_rank_results": results,
+            "estimated_iteration_time_us": mean_time_us,
+            "estimated_iteration_time_ms": mean_time_us / 1e3,
+            "replay_ranks": len(results),
+            "emulated_world_size": self.config.emulated_world_size,
+        }

@@ -1,0 +1,153 @@
+"""The execution-trace container.
+
+An :class:`ExecutionTrace` is an ordered collection of
+:class:`~repro.et.schema.ETNode` objects plus trace-level metadata (rank,
+world size, workload name, capture platform).  Node IDs are assigned in
+execution order, so iterating nodes sorted by ID reproduces the original
+execution order — the property Mystique's replayer relies on.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Dict, Iterable, Iterator, List, Optional
+
+from repro.et.schema import ETNode, ROOT_NODE_ID
+
+#: Version string written into serialised traces.
+TRACE_SCHEMA_VERSION = "1.0.2-repro"
+
+
+@dataclass
+class ExecutionTrace:
+    """A captured execution trace."""
+
+    nodes: List[ETNode] = field(default_factory=list)
+    metadata: Dict[str, Any] = field(default_factory=dict)
+
+    # ------------------------------------------------------------------
+    # Node access
+    # ------------------------------------------------------------------
+    def add_node(self, node: ETNode) -> ETNode:
+        self.nodes.append(node)
+        self._index_dirty = True
+        return node
+
+    def __len__(self) -> int:
+        return len(self.nodes)
+
+    def __iter__(self) -> Iterator[ETNode]:
+        return iter(self.sorted_nodes())
+
+    def sorted_nodes(self) -> List[ETNode]:
+        """Nodes in execution order (increasing ID)."""
+        return sorted(self.nodes, key=lambda node: node.id)
+
+    def get(self, node_id: int) -> ETNode:
+        index = self._node_index()
+        if node_id not in index:
+            raise KeyError(f"no node with id {node_id}")
+        return index[node_id]
+
+    def has(self, node_id: int) -> bool:
+        return node_id in self._node_index()
+
+    def children(self, node_id: int) -> List[ETNode]:
+        """Direct children of a node, in execution order."""
+        return sorted(
+            (node for node in self.nodes if node.parent == node_id),
+            key=lambda node: node.id,
+        )
+
+    def descendants(self, node_id: int) -> List[ETNode]:
+        """All transitive children of a node, in execution order."""
+        result: List[ETNode] = []
+        frontier = [node_id]
+        children_map = self._children_index()
+        while frontier:
+            current = frontier.pop()
+            for child in children_map.get(current, []):
+                result.append(child)
+                frontier.append(child.id)
+        return sorted(result, key=lambda node: node.id)
+
+    def root_nodes(self) -> List[ETNode]:
+        """Nodes whose parent is the synthetic root (top-level operators)."""
+        return self.children(ROOT_NODE_ID)
+
+    def operators(self) -> List[ETNode]:
+        """All nodes that are real operator invocations (have a schema)."""
+        return [node for node in self.sorted_nodes() if node.is_operator]
+
+    def find_by_name(self, name: str) -> List[ETNode]:
+        """All nodes whose name matches exactly, in execution order."""
+        return [node for node in self.sorted_nodes() if node.name == name]
+
+    def find_by_label(self, label: str) -> List[ETNode]:
+        """All annotation nodes whose name contains ``label``.
+
+        ``record_function`` labels (e.g. ``"## forward ##"``) show up as
+        annotation nodes; subtrace replay locates them this way.
+        """
+        return [node for node in self.sorted_nodes() if label in node.name]
+
+    # ------------------------------------------------------------------
+    # Indexing helpers
+    # ------------------------------------------------------------------
+    _index_dirty: bool = field(default=True, repr=False)
+    _id_index: Dict[int, ETNode] = field(default_factory=dict, repr=False)
+    _child_index: Dict[int, List[ETNode]] = field(default_factory=dict, repr=False)
+
+    def _rebuild_indexes(self) -> None:
+        self._id_index = {node.id: node for node in self.nodes}
+        self._child_index = {}
+        for node in self.nodes:
+            self._child_index.setdefault(node.parent, []).append(node)
+        for children in self._child_index.values():
+            children.sort(key=lambda node: node.id)
+        self._index_dirty = False
+
+    def _node_index(self) -> Dict[int, ETNode]:
+        if self._index_dirty:
+            self._rebuild_indexes()
+        return self._id_index
+
+    def _children_index(self) -> Dict[int, List[ETNode]]:
+        if self._index_dirty:
+            self._rebuild_indexes()
+        return self._child_index
+
+    # ------------------------------------------------------------------
+    # Serialisation
+    # ------------------------------------------------------------------
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "schema": TRACE_SCHEMA_VERSION,
+            "metadata": self.metadata,
+            "nodes": [node.to_dict() for node in self.sorted_nodes()],
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "ExecutionTrace":
+        nodes = [ETNode.from_dict(entry) for entry in data.get("nodes", [])]
+        return cls(nodes=nodes, metadata=dict(data.get("metadata", {})))
+
+    def to_json(self, indent: Optional[int] = None) -> str:
+        return json.dumps(self.to_dict(), indent=indent)
+
+    @classmethod
+    def from_json(cls, text: str) -> "ExecutionTrace":
+        return cls.from_dict(json.loads(text))
+
+    def save(self, path: "str | Path") -> Path:
+        """Write the trace to a JSON file and return the path."""
+        path = Path(path)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(self.to_json())
+        return path
+
+    @classmethod
+    def load(cls, path: "str | Path") -> "ExecutionTrace":
+        return cls.from_json(Path(path).read_text())

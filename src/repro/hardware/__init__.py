@@ -1,0 +1,43 @@
+"""Hardware performance models.
+
+This subpackage replaces the physical A100/V100 cluster of the paper with a
+deterministic analytic model:
+
+* :mod:`~repro.hardware.specs` — device specifications (CPU, V100, A100 and
+  the hypothetical "new platform" of Figure 10).
+* :mod:`~repro.hardware.costmodel` — a roofline-style kernel cost model.
+* :mod:`~repro.hardware.network` — an alpha-beta interconnect model for the
+  c10d collectives (NVLink intra-node, NIC inter-node).
+* :mod:`~repro.hardware.power` — the power-limit (DVFS) model used by the
+  power-efficiency sweep of Figure 8.
+* :mod:`~repro.hardware.gpu` — the discrete-event GPU timeline that resolves
+  per-stream kernel start/end times and aggregates busy/exposed time.
+* :mod:`~repro.hardware.counters` — system- and micro-level metrics (SM
+  utilisation, HBM bandwidth, power, IPC, L1/L2 hit rates, SM throughput).
+"""
+
+from repro.hardware.specs import DeviceSpec, A100, V100, XEON_CPU, NEW_PLATFORM, get_device_spec
+from repro.hardware.costmodel import KernelCostModel
+from repro.hardware.network import InterconnectSpec, CollectiveCostModel
+from repro.hardware.power import PowerModel
+from repro.hardware.gpu import GpuTimeline, TimelineStats
+from repro.hardware.counters import KernelCounters, SystemMetrics, compute_kernel_counters, compute_system_metrics
+
+__all__ = [
+    "DeviceSpec",
+    "A100",
+    "V100",
+    "XEON_CPU",
+    "NEW_PLATFORM",
+    "get_device_spec",
+    "KernelCostModel",
+    "InterconnectSpec",
+    "CollectiveCostModel",
+    "PowerModel",
+    "GpuTimeline",
+    "TimelineStats",
+    "KernelCounters",
+    "SystemMetrics",
+    "compute_kernel_counters",
+    "compute_system_metrics",
+]

@@ -1,0 +1,154 @@
+"""Interconnect and collective-communication cost model.
+
+Distributed training in the paper runs on 8-GPU NVLink nodes connected by a
+200 Gb/s NIC per GPU.  This module provides an alpha-beta (latency +
+bandwidth) model for the c10d collectives used by the workloads:
+``all_reduce``, ``all_to_all``, ``all_gather``, ``reduce_scatter``,
+``broadcast`` and point-to-point ``send``/``recv``.
+
+The model distinguishes intra-node traffic (NVLink) from inter-node traffic
+(NIC) based on the process-group topology, and adds a small synchronisation
+skew term that grows slowly with the group size — the same first-order
+behaviour that makes large-scale collectives slower per byte than
+small-scale ones, and the knob the scale-down emulation of Section 7.3
+adjusts.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Optional
+
+
+@dataclass(frozen=True)
+class InterconnectSpec:
+    """Bandwidth/latency description of the cluster fabric.
+
+    Bandwidths are per-GPU unidirectional, in GB/s; latencies in
+    microseconds.
+    """
+
+    name: str = "a100-cluster"
+    intra_node_bw_gbps: float = 300.0   # effective NVLink bandwidth per GPU
+    inter_node_bw_gbps: float = 25.0    # 200 Gb/s NIC per GPU
+    intra_node_latency_us: float = 4.0
+    inter_node_latency_us: float = 12.0
+    gpus_per_node: int = 8
+    skew_us_per_rank: float = 0.35
+
+    def clone(self, **overrides) -> "InterconnectSpec":
+        from dataclasses import replace
+
+        return replace(self, **overrides)
+
+
+@dataclass
+class CollectiveCostModel:
+    """Duration model for collective and point-to-point operations."""
+
+    spec: InterconnectSpec = InterconnectSpec()
+    #: Extra multiplier on every collective's duration; the scale-down
+    #: emulator uses it to inject the delay that emulates a larger cluster.
+    delay_scale: float = 1.0
+    #: Constant extra delay (us) added to every collective.
+    extra_delay_us: float = 0.0
+
+    # ------------------------------------------------------------------
+    # Topology helpers
+    # ------------------------------------------------------------------
+    def _crosses_nodes(self, world_size: int) -> bool:
+        return world_size > self.spec.gpus_per_node
+
+    def _bottleneck_bw_bps(self, world_size: int) -> float:
+        gbps = (
+            self.spec.inter_node_bw_gbps
+            if self._crosses_nodes(world_size)
+            else self.spec.intra_node_bw_gbps
+        )
+        return gbps * 1e9
+
+    def _latency_us(self, world_size: int) -> float:
+        base = (
+            self.spec.inter_node_latency_us
+            if self._crosses_nodes(world_size)
+            else self.spec.intra_node_latency_us
+        )
+        return base + self.spec.skew_us_per_rank * math.log2(max(2, world_size))
+
+    def _finalize(self, duration_us: float) -> float:
+        return duration_us * self.delay_scale + self.extra_delay_us
+
+    # ------------------------------------------------------------------
+    # Collectives
+    # ------------------------------------------------------------------
+    def all_reduce_us(self, bytes_per_rank: float, world_size: int) -> float:
+        """Ring all-reduce: each rank moves ``2*(n-1)/n`` of its payload."""
+        if world_size <= 1:
+            return self._finalize(self.spec.intra_node_latency_us)
+        moved = 2.0 * (world_size - 1) / world_size * bytes_per_rank
+        transfer = moved / self._bottleneck_bw_bps(world_size) * 1e6
+        steps = 2 * (world_size - 1)
+        return self._finalize(transfer + steps * self._latency_us(world_size) / world_size + self._latency_us(world_size))
+
+    def reduce_scatter_us(self, bytes_per_rank: float, world_size: int) -> float:
+        if world_size <= 1:
+            return self._finalize(self.spec.intra_node_latency_us)
+        moved = (world_size - 1) / world_size * bytes_per_rank
+        transfer = moved / self._bottleneck_bw_bps(world_size) * 1e6
+        return self._finalize(transfer + self._latency_us(world_size))
+
+    def all_gather_us(self, bytes_per_rank: float, world_size: int) -> float:
+        if world_size <= 1:
+            return self._finalize(self.spec.intra_node_latency_us)
+        moved = (world_size - 1) * bytes_per_rank
+        transfer = moved / self._bottleneck_bw_bps(world_size) * 1e6
+        return self._finalize(transfer + self._latency_us(world_size))
+
+    def all_to_all_us(self, bytes_per_rank: float, world_size: int) -> float:
+        """All-to-all: every rank sends ``(n-1)/n`` of its payload away."""
+        if world_size <= 1:
+            return self._finalize(self.spec.intra_node_latency_us)
+        moved = (world_size - 1) / world_size * bytes_per_rank
+        transfer = moved / self._bottleneck_bw_bps(world_size) * 1e6
+        # all-to-all suffers more from incast than ring collectives.
+        congestion = 1.0 + 0.05 * math.log2(max(2, world_size))
+        return self._finalize(transfer * congestion + self._latency_us(world_size))
+
+    def broadcast_us(self, bytes_total: float, world_size: int) -> float:
+        if world_size <= 1:
+            return self._finalize(self.spec.intra_node_latency_us)
+        transfer = bytes_total / self._bottleneck_bw_bps(world_size) * 1e6
+        hops = math.ceil(math.log2(world_size))
+        return self._finalize(transfer + hops * self._latency_us(world_size))
+
+    def barrier_us(self, world_size: int) -> float:
+        return self._finalize(2.0 * self._latency_us(max(2, world_size)))
+
+    def p2p_us(self, bytes_total: float, same_node: bool = True) -> float:
+        bw = (self.spec.intra_node_bw_gbps if same_node else self.spec.inter_node_bw_gbps) * 1e9
+        latency = self.spec.intra_node_latency_us if same_node else self.spec.inter_node_latency_us
+        return self._finalize(bytes_total / bw * 1e6 + latency)
+
+    # ------------------------------------------------------------------
+    def collective_us(self, op_name: str, bytes_per_rank: float, world_size: int) -> float:
+        """Dispatch on the (c10d-style) collective operator name."""
+        table = {
+            "all_reduce": self.all_reduce_us,
+            "allreduce": self.all_reduce_us,
+            "reduce_scatter": self.reduce_scatter_us,
+            "all_gather": self.all_gather_us,
+            "allgather": self.all_gather_us,
+            "all_to_all": self.all_to_all_us,
+            "alltoall": self.all_to_all_us,
+        }
+        key = op_name.split("::")[-1].lower()
+        if key in table:
+            return table[key](bytes_per_rank, world_size)
+        if key in ("broadcast",):
+            return self.broadcast_us(bytes_per_rank, world_size)
+        if key in ("barrier",):
+            return self.barrier_us(world_size)
+        if key in ("send", "recv", "isend", "irecv"):
+            return self.p2p_us(bytes_per_rank, same_node=world_size <= self.spec.gpus_per_node)
+        raise ValueError(f"unknown collective operator: {op_name!r}")

@@ -1,0 +1,98 @@
+"""Power and DVFS model.
+
+Figure 8 of the paper sweeps the GPU power limit from 100 W to 350 W and
+shows that the replayed benchmark tracks the original workload's
+energy-efficiency curve.  To reproduce that experiment we need a model of
+how a power cap affects (a) the sustained clock — and hence kernel durations
+— and (b) the average power actually drawn.
+
+The model is a standard first-order DVFS approximation:
+
+* dynamic power scales roughly with ``V^2 * f`` and, since voltage scales
+  with frequency near the operating point, with ``f^3``;
+* therefore capping power at ``P_cap`` forces the clock down to
+  ``f = f_max * (P_budget / P_dyn_max)^(1/3)`` whenever the uncapped dynamic
+  power would exceed the budget;
+* the average power drawn is the idle floor plus the (possibly capped)
+  dynamic component scaled by how busy the device is.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.hardware.specs import DeviceSpec
+
+
+@dataclass
+class PowerModel:
+    """Power-limit model for one device."""
+
+    spec: DeviceSpec
+    power_limit_w: Optional[float] = None
+
+    def __post_init__(self) -> None:
+        if self.power_limit_w is not None:
+            low = self.spec.min_power_limit_w
+            high = self.spec.tdp_w
+            if not low <= self.power_limit_w <= high:
+                raise ValueError(
+                    f"power limit {self.power_limit_w} W outside the valid range "
+                    f"[{low}, {high}] W for {self.spec.name}"
+                )
+
+    # ------------------------------------------------------------------
+    @property
+    def effective_limit_w(self) -> float:
+        return self.power_limit_w if self.power_limit_w is not None else self.spec.tdp_w
+
+    @property
+    def clock_scale(self) -> float:
+        """Sustained-clock multiplier in (0, 1] implied by the power cap."""
+        dynamic_budget = max(1.0, self.effective_limit_w - self.spec.idle_power_w)
+        dynamic_max = max(1.0, self.spec.tdp_w - self.spec.idle_power_w)
+        ratio = min(1.0, dynamic_budget / dynamic_max)
+        # Cube-root law: power ~ f^3 near the operating point.
+        scale = ratio ** (1.0 / 3.0)
+        # Clocks cannot drop below the base/boost ratio — the device would
+        # throttle to base clock rather than stall entirely.
+        floor = self.spec.base_clock_mhz / self.spec.boost_clock_mhz * 0.55
+        return max(floor, scale)
+
+    # ------------------------------------------------------------------
+    def average_power_w(self, busy_fraction: float, utilization: float) -> float:
+        """Average device power given how busy the device is.
+
+        Parameters
+        ----------
+        busy_fraction:
+            Fraction of wall-clock time at least one kernel is resident.
+        utilization:
+            Average SM utilisation while busy (0..1).
+        """
+        busy_fraction = max(0.0, min(1.0, busy_fraction))
+        utilization = max(0.0, min(1.0, utilization))
+        dynamic_max = self.spec.tdp_w - self.spec.idle_power_w
+        # Dynamic power follows activity, but even idle SMs burn some static
+        # power when the device is busy; 0.25 floor captures that.
+        activity = 0.25 + 0.75 * utilization
+        dynamic = dynamic_max * activity * busy_fraction * (self.clock_scale ** 3)
+        return min(self.effective_limit_w, self.spec.idle_power_w + dynamic)
+
+    def energy_j(self, wall_time_us: float, busy_fraction: float, utilization: float) -> float:
+        """Energy consumed over ``wall_time_us`` microseconds, in joules."""
+        power = self.average_power_w(busy_fraction, utilization)
+        return power * wall_time_us * 1e-6
+
+    def energy_efficiency(
+        self, iterations: float, wall_time_us: float, busy_fraction: float, utilization: float
+    ) -> float:
+        """Throughput per watt (iterations/s/W), the y-axis of Figure 8."""
+        if wall_time_us <= 0:
+            return 0.0
+        throughput = iterations / (wall_time_us * 1e-6)
+        power = self.average_power_w(busy_fraction, utilization)
+        if power <= 0:
+            return 0.0
+        return throughput / power

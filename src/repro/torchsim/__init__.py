@@ -1,0 +1,44 @@
+"""A PyTorch-like framework substrate for the Mystique reproduction.
+
+``torchsim`` mirrors the parts of PyTorch that Mystique interacts with:
+
+* a :class:`~repro.torchsim.tensor.Tensor` type whose identity is the
+  six-element tuple used by the PyTorch execution trace,
+* an operator registry with ATen-style schemas, communication collectives,
+  fused (JIT) operators and user-registered custom operators,
+* a :class:`~repro.torchsim.runtime.Runtime` that dispatches operators,
+  launches simulated GPU kernels onto streams, and drives the profiler,
+* the :class:`~repro.torchsim.observer.ExecutionGraphObserver` which captures
+  execution traces with the node schema of Table 2 of the paper,
+* a :mod:`~repro.torchsim.profiler` that records CPU operator spans and GPU
+  kernel spans (the "profiler trace" of the paper),
+* ``c10d``-style distributed process groups and collectives,
+* a small ``nn`` module zoo plus a tape-based autograd used by the workloads.
+
+The goal is not numerical fidelity (most tensors carry only metadata) but
+*invocation-boundary* fidelity: the metadata recorded at operator invocation
+time is exactly what Mystique's capture/replay pipeline consumes.
+"""
+
+from repro.torchsim.dtypes import DType
+from repro.torchsim.device import Device
+from repro.torchsim.tensor import Tensor, reset_tensor_ids
+from repro.torchsim.stream import Stream, DEFAULT_COMPUTE_STREAM, COMM_STREAM, MEMCPY_STREAM
+from repro.torchsim.runtime import Runtime
+from repro.torchsim.observer import ExecutionGraphObserver
+from repro.torchsim.profiler import Profiler, ProfilerTrace
+
+__all__ = [
+    "DType",
+    "Device",
+    "Tensor",
+    "reset_tensor_ids",
+    "Stream",
+    "DEFAULT_COMPUTE_STREAM",
+    "COMM_STREAM",
+    "MEMCPY_STREAM",
+    "Runtime",
+    "ExecutionGraphObserver",
+    "Profiler",
+    "ProfilerTrace",
+]

@@ -1,0 +1,51 @@
+"""Logical devices.
+
+A :class:`Device` is only an *identity* ("where does this tensor live / where
+does this kernel run"); the performance characteristics of the physical
+hardware are described separately by
+:class:`repro.hardware.specs.DeviceSpec`.  This mirrors PyTorch, where
+``torch.device`` says nothing about whether the GPU is a V100 or an A100.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class Device:
+    """A logical execution device, e.g. ``cpu`` or ``cuda:0``."""
+
+    type: str
+    index: int = 0
+
+    def __post_init__(self) -> None:
+        if self.type not in ("cpu", "cuda"):
+            raise ValueError(f"unsupported device type: {self.type!r}")
+        if self.index < 0:
+            raise ValueError("device index must be non-negative")
+
+    @classmethod
+    def cpu(cls) -> "Device":
+        return cls("cpu", 0)
+
+    @classmethod
+    def cuda(cls, index: int = 0) -> "Device":
+        return cls("cuda", index)
+
+    @classmethod
+    def parse(cls, text: str) -> "Device":
+        """Parse a device string such as ``"cuda:1"`` or ``"cpu"``."""
+        if ":" in text:
+            kind, _, idx = text.partition(":")
+            return cls(kind, int(idx))
+        return cls(text, 0)
+
+    @property
+    def is_cuda(self) -> bool:
+        return self.type == "cuda"
+
+    def __str__(self) -> str:
+        if self.type == "cpu":
+            return "cpu"
+        return f"{self.type}:{self.index}"

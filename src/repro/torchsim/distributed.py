@@ -1,0 +1,131 @@
+"""c10d-style distributed state: process groups and work handles.
+
+Distributed training in the paper uses the PyTorch ``c10d`` library with
+nccl/gloo/mpi/ucc backends.  What Mystique needs from it is:
+
+* process groups (which ranks participate in a collective),
+* the message sizes and dtypes of each collective,
+* blocking vs. asynchronous execution semantics (``Work.wait()``).
+
+This module models exactly those pieces.  The actual duration of a
+collective comes from :class:`repro.hardware.network.CollectiveCostModel`.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.hardware.network import CollectiveCostModel, InterconnectSpec
+from repro.torchsim.kernel import KernelLaunch
+
+#: Backends accepted by :func:`DistributedContext.new_group`, mirroring c10d.
+SUPPORTED_BACKENDS = ("nccl", "gloo", "mpi", "ucc")
+
+
+@dataclass(frozen=True)
+class ProcessGroup:
+    """A communication group: an ordered set of participating ranks."""
+
+    pg_id: int
+    ranks: Tuple[int, ...]
+    backend: str = "nccl"
+
+    def __post_init__(self) -> None:
+        if self.backend not in SUPPORTED_BACKENDS:
+            raise ValueError(
+                f"unsupported backend {self.backend!r}; expected one of {SUPPORTED_BACKENDS}"
+            )
+        if len(set(self.ranks)) != len(self.ranks):
+            raise ValueError("process group ranks must be unique")
+
+    @property
+    def size(self) -> int:
+        return len(self.ranks)
+
+    def contains(self, rank: int) -> bool:
+        return rank in self.ranks
+
+    def describe(self) -> Dict[str, object]:
+        """JSON-friendly description recorded in execution-trace inputs."""
+        return {"pg_id": self.pg_id, "ranks": list(self.ranks), "backend": self.backend}
+
+
+class Work:
+    """Handle returned by asynchronous collectives (mirrors ``c10d.Work``)."""
+
+    def __init__(self, runtime, launch: KernelLaunch):
+        self._runtime = runtime
+        self._launch = launch
+        self._completed = False
+
+    def wait(self) -> None:
+        """Block the issuing CPU thread until the collective kernel finishes."""
+        if self._launch.end is not None:
+            self._runtime.block_until(self._launch.end)
+        self._completed = True
+
+    def is_completed(self) -> bool:
+        return self._completed or (
+            self._launch.end is not None and self._launch.end <= self._runtime.now()
+        )
+
+    @property
+    def launch(self) -> KernelLaunch:
+        return self._launch
+
+
+class DistributedContext:
+    """Per-process distributed state (rank, world size, process groups)."""
+
+    def __init__(
+        self,
+        rank: int,
+        world_size: int,
+        interconnect: Optional[InterconnectSpec] = None,
+        collective_model: Optional[CollectiveCostModel] = None,
+        backend: str = "nccl",
+    ) -> None:
+        if not 0 <= rank < world_size:
+            raise ValueError(f"rank {rank} out of range for world size {world_size}")
+        self.rank = rank
+        self.world_size = world_size
+        self.backend = backend
+        if collective_model is not None:
+            self.collective_model = collective_model
+        else:
+            self.collective_model = CollectiveCostModel(interconnect or InterconnectSpec())
+        self._pg_counter = itertools.count(1)
+        self.default_group = ProcessGroup(0, tuple(range(world_size)), backend)
+        self.groups: Dict[int, ProcessGroup] = {0: self.default_group}
+
+    # ------------------------------------------------------------------
+    def new_group(self, ranks: Sequence[int], backend: Optional[str] = None) -> ProcessGroup:
+        """Create a new process group over ``ranks`` (mirrors ``dist.new_group``)."""
+        group = ProcessGroup(
+            pg_id=next(self._pg_counter),
+            ranks=tuple(int(r) for r in ranks),
+            backend=backend or self.backend,
+        )
+        self.groups[group.pg_id] = group
+        return group
+
+    def get_group(self, pg_id: int) -> ProcessGroup:
+        if pg_id not in self.groups:
+            raise KeyError(f"unknown process group id {pg_id}")
+        return self.groups[pg_id]
+
+    def group_for_description(self, description: Dict[str, object]) -> ProcessGroup:
+        """Find-or-create a group matching a recorded description.
+
+        Mystique's communication replay creates new process groups and maps
+        them onto the groups recorded in the trace (Section 4.3.2); this is
+        the find-or-create half of that mapping.
+        """
+        ranks = tuple(int(r) for r in description.get("ranks", range(self.world_size)))
+        backend = str(description.get("backend", self.backend))
+        for group in self.groups.values():
+            if group.ranks == ranks and group.backend == backend:
+                return group
+        return self.new_group(ranks, backend)

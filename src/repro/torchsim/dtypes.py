@@ -1,0 +1,51 @@
+"""Data types understood by the simulated framework.
+
+Only the handful of dtypes exercised by the evaluated workloads are modelled.
+Each dtype knows its element size in bytes, which is all the performance
+model needs.
+"""
+
+from __future__ import annotations
+
+import enum
+
+
+class DType(enum.Enum):
+    """Element type of a :class:`~repro.torchsim.tensor.Tensor`."""
+
+    FLOAT32 = ("float32", 4, True)
+    FLOAT16 = ("float16", 2, True)
+    BFLOAT16 = ("bfloat16", 2, True)
+    FLOAT64 = ("float64", 8, True)
+    INT64 = ("int64", 8, False)
+    INT32 = ("int32", 4, False)
+    INT8 = ("int8", 1, False)
+    UINT8 = ("uint8", 1, False)
+    BOOL = ("bool", 1, False)
+
+    def __init__(self, type_name: str, itemsize: int, is_floating: bool):
+        self.type_name = type_name
+        self.itemsize = itemsize
+        self.is_floating = is_floating
+
+    def __str__(self) -> str:  # pragma: no cover - trivial
+        return self.type_name
+
+    @classmethod
+    def from_name(cls, name: str) -> "DType":
+        """Look a dtype up by its string name (e.g. ``"float32"``).
+
+        Accepts both bare names and the ``Tensor(float32)`` form that appears
+        in execution-trace type strings.
+        """
+        cleaned = name.strip()
+        if cleaned.startswith("Tensor(") and cleaned.endswith(")"):
+            cleaned = cleaned[len("Tensor("):-1]
+        for dtype in cls:
+            if dtype.type_name == cleaned:
+                return dtype
+        raise ValueError(f"unknown dtype name: {name!r}")
+
+
+#: Default floating-point dtype, matching PyTorch's default.
+DEFAULT_DTYPE = DType.FLOAT32

@@ -1,0 +1,113 @@
+"""Kernel descriptors and launch records.
+
+Operators do not run real GPU code; instead each operator implementation
+describes the kernels it *would* launch via a :class:`KernelDesc` (how much
+compute, how much memory traffic, what kind of kernel).  The hardware model
+turns a descriptor into a duration, and the GPU timeline simulator places
+the resulting :class:`KernelLaunch` records on streams.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Dict, Optional
+
+
+class KernelKind(enum.Enum):
+    """Broad kernel classes with distinct efficiency characteristics."""
+
+    GEMM = "gemm"
+    CONV = "conv"
+    ELEMENTWISE = "elementwise"
+    REDUCTION = "reduction"
+    NORMALIZATION = "normalization"
+    POOLING = "pooling"
+    EMBEDDING = "embedding"
+    MEMCPY = "memcpy"
+    COLLECTIVE = "collective"
+    CUSTOM = "custom"
+    FUSED = "fused"
+
+
+class OpCategory(enum.Enum):
+    """The four operator categories of Section 3.3 of the paper."""
+
+    ATEN = "aten"
+    COMM = "comms"
+    FUSED = "fused"
+    CUSTOM = "custom"
+
+
+@dataclass
+class KernelDesc:
+    """A description of one GPU kernel an operator launches.
+
+    Attributes
+    ----------
+    name:
+        Kernel name as it would appear in a profiler trace.
+    kind:
+        Broad kernel class; selects efficiency factors in the cost model.
+    flops:
+        Floating-point operations performed by the kernel.
+    bytes_read / bytes_written:
+        DRAM traffic in bytes, used for the bandwidth roof and the HBM
+        bandwidth metric.
+    occupancy:
+        Fraction of the device's SMs the kernel keeps busy (0..1].
+    locality:
+        Cache friendliness in [0, 1]; drives the L1/L2 hit-rate counters and
+        modulates the effective memory bandwidth.
+    comm_bytes:
+        For collective kernels, the per-rank payload size; the interconnect
+        model (not the roofline) provides the duration.
+    """
+
+    name: str
+    kind: KernelKind
+    flops: float = 0.0
+    bytes_read: float = 0.0
+    bytes_written: float = 0.0
+    occupancy: float = 0.8
+    locality: float = 0.5
+    comm_bytes: float = 0.0
+    metadata: Dict[str, object] = field(default_factory=dict)
+
+    @property
+    def bytes_total(self) -> float:
+        return self.bytes_read + self.bytes_written
+
+    @property
+    def arithmetic_intensity(self) -> float:
+        """FLOPs per byte of DRAM traffic (0 when there is no traffic)."""
+        if self.bytes_total <= 0:
+            return 0.0
+        return self.flops / self.bytes_total
+
+
+@dataclass
+class KernelLaunch:
+    """A kernel launch event recorded by the runtime.
+
+    ``launch_ts`` is the CPU-side timestamp when the kernel was enqueued;
+    ``duration`` is the modelled on-device execution time.  The GPU timeline
+    simulator derives the actual ``start``/``end`` times respecting stream
+    ordering.
+    """
+
+    desc: KernelDesc
+    stream_id: int
+    launch_ts: float
+    duration: float
+    op_node_id: int
+    op_name: str
+    category: OpCategory
+    device_index: int = 0
+    correlation_id: int = 0
+    start: Optional[float] = None
+    end: Optional[float] = None
+
+    @property
+    def resolved(self) -> bool:
+        return self.start is not None and self.end is not None

@@ -1,0 +1,106 @@
+"""The ExecutionGraphObserver.
+
+This mirrors ``torch.profiler.ExecutionGraphObserver`` (renamed
+``ExecutionTraceObserver`` in later PyTorch releases): the user registers a
+callback (an output path), and between ``start()`` and ``stop()`` every
+operator invocation is recorded as an execution-trace node with the Table 2
+schema.  Typically a single training iteration is captured.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Any, List, Optional, Sequence
+
+from repro.et.schema import ETNode, ROOT_NODE_ID, encode_arg
+from repro.et.trace import ExecutionTrace
+
+
+class ExecutionGraphObserver:
+    """Captures execution traces from a :class:`~repro.torchsim.runtime.Runtime`."""
+
+    def __init__(self) -> None:
+        self._output_path: Optional[Path] = None
+        self._enabled = False
+        self.trace: Optional[ExecutionTrace] = None
+
+    # ------------------------------------------------------------------
+    # The user-facing API mirrors the hooks of Section 4.1.
+    # ------------------------------------------------------------------
+    def register_callback(self, output_path: "str | Path | None") -> None:
+        """Set the file the trace is written to when capture stops."""
+        self._output_path = Path(output_path) if output_path is not None else None
+
+    def start(self) -> None:
+        """Begin capturing; starts a fresh trace with a synthetic root node."""
+        self.trace = ExecutionTrace()
+        self.trace.add_node(
+            ETNode(
+                name="[pytorch|profiler|execution_graph|process]",
+                id=ROOT_NODE_ID,
+                parent=0,
+            )
+        )
+        self._enabled = True
+
+    def stop(self) -> None:
+        """Stop capturing and, if a callback path was registered, write JSON."""
+        self._enabled = False
+        if self.trace is not None and self._output_path is not None:
+            self.trace.save(self._output_path)
+
+    @property
+    def enabled(self) -> bool:
+        return self._enabled
+
+    # ------------------------------------------------------------------
+    # Called by the runtime
+    # ------------------------------------------------------------------
+    def record_node(
+        self,
+        name: str,
+        node_id: int,
+        parent_id: int,
+        op_schema: str,
+        inputs: Sequence[Any],
+        outputs: Sequence[Any],
+        attrs: Optional[dict] = None,
+    ) -> Optional[ETNode]:
+        """Record one operator (or annotation) invocation.
+
+        ``inputs``/``outputs`` are the raw argument values; tensors are
+        encoded into identity tuples, scalars kept verbatim.
+        """
+        if not self._enabled or self.trace is None:
+            return None
+        input_values: List[Any] = []
+        input_shapes: List[Any] = []
+        input_types: List[str] = []
+        for value in inputs:
+            encoded, shape, type_str = encode_arg(value)
+            input_values.append(encoded)
+            input_shapes.append(shape)
+            input_types.append(type_str)
+        output_values: List[Any] = []
+        output_shapes: List[Any] = []
+        output_types: List[str] = []
+        for value in outputs:
+            encoded, shape, type_str = encode_arg(value)
+            output_values.append(encoded)
+            output_shapes.append(shape)
+            output_types.append(type_str)
+        node = ETNode(
+            name=name,
+            id=node_id,
+            parent=parent_id if parent_id > 0 else ROOT_NODE_ID,
+            op_schema=op_schema,
+            inputs=input_values,
+            input_shapes=input_shapes,
+            input_types=input_types,
+            outputs=output_values,
+            output_shapes=output_shapes,
+            output_types=output_types,
+            attrs=dict(attrs or {}),
+        )
+        self.trace.add_node(node)
+        return node

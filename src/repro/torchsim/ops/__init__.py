@@ -1,0 +1,37 @@
+"""Operator definitions for the simulated framework.
+
+Operators are registered in a global :class:`~repro.torchsim.ops.registry.OperatorRegistry`
+keyed by their qualified name (``aten::addmm``, ``c10d::all_reduce``,
+``fbgemm::split_embedding_lookup`` ...).  Importing this package registers
+the built-in operator library:
+
+* :mod:`~repro.torchsim.ops.aten` — the ATen compute operators,
+* :mod:`~repro.torchsim.ops.comms` — c10d-style communication collectives,
+* :mod:`~repro.torchsim.ops.fused` — JIT-fused pointwise operators,
+* :mod:`~repro.torchsim.ops.custom` — custom/out-of-source operators
+  (FBGEMM-style embedding kernels, Fairseq-style LSTM cells, ...).
+"""
+
+from repro.torchsim.ops.schema import OperatorSchema, SchemaArg, parse_schema
+from repro.torchsim.ops.registry import (
+    OperatorDef,
+    OperatorRegistry,
+    global_registry,
+    register_op,
+)
+
+# Importing the operator modules populates the global registry.
+from repro.torchsim.ops import aten as _aten  # noqa: F401
+from repro.torchsim.ops import comms as _comms  # noqa: F401
+from repro.torchsim.ops import fused as _fused  # noqa: F401
+from repro.torchsim.ops import custom as _custom  # noqa: F401
+
+__all__ = [
+    "OperatorSchema",
+    "SchemaArg",
+    "parse_schema",
+    "OperatorDef",
+    "OperatorRegistry",
+    "global_registry",
+    "register_op",
+]

@@ -1,0 +1,51 @@
+"""Fused (JIT) operators.
+
+Pointwise operator fusion merges several elementwise operators into a single
+kernel to amortise memory traffic and launch overhead; in PyTorch it is
+enabled by decorating a function with ``@torch.jit.script`` and the fuser
+emits a single fused operator at runtime (Section 3.3).
+
+The paper notes that the execution trace does not yet carry enough metadata
+to replay fused operators, so Mystique skips them (they are a small fraction
+of count and a negligible fraction of GPU time, Figure 2).  We model them
+the same way: workloads may emit ``fused::*`` operators, they show up in the
+trace, and the replayer treats them as unsupported by default.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.torchsim.kernel import KernelDesc, KernelKind, OpCategory
+from repro.torchsim.ops.registry import register_op
+from repro.torchsim.tensor import Tensor
+
+
+@register_op(
+    "fused::TensorExprGroup(Tensor[] inputs, int num_ops=2) -> Tensor",
+    category=OpCategory.FUSED,
+    library="fused",
+)
+def fused_tensor_expr_group(ctx, inputs: Sequence[Tensor], num_ops: int = 2) -> Tensor:
+    """A NVFuser/NNC-style fusion group of ``num_ops`` pointwise operators.
+
+    The fused kernel reads each input once and writes one output, instead of
+    reading/writing once per fused operator — that is the whole point of
+    fusion, and it is reflected in the descriptor.
+    """
+    reference = inputs[0]
+    numel = reference.numel
+    itemsize = reference.dtype.itemsize
+    ctx.launch(
+        KernelDesc(
+            name="CudaCodeGen::kernel_fused",
+            kind=KernelKind.FUSED,
+            flops=numel * float(num_ops),
+            bytes_read=numel * itemsize * len(inputs),
+            bytes_written=numel * itemsize,
+            occupancy=min(1.0, numel / (ctx.spec.num_sms * 2048.0)),
+            locality=0.85,
+            metadata={"num_ops": num_ops, "dtype": reference.dtype.type_name},
+        )
+    )
+    return Tensor.empty(reference.shape, dtype=reference.dtype, device=reference.device)

@@ -1,0 +1,78 @@
+"""CUDA-style streams.
+
+A stream is a FIFO of kernels that execute in issue order on the device.
+Kernels on different streams may overlap; the GPU timeline simulator
+(:mod:`repro.hardware.gpu`) resolves the actual start/end times.
+
+Stream numbering follows the conventions visible in PyTorch profiler traces:
+the default compute stream is 7, communication collectives typically land on
+a dedicated stream (20), and host/device copies on another (22).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List
+
+
+#: Default compute stream id (PyTorch's default CUDA stream shows up as 7).
+DEFAULT_COMPUTE_STREAM = 7
+#: Stream used by NCCL-style communication kernels.
+COMM_STREAM = 20
+#: Stream used by host<->device memcpy kernels.
+MEMCPY_STREAM = 22
+
+
+@dataclass
+class Stream:
+    """A simulated CUDA stream."""
+
+    stream_id: int
+    device_index: int = 0
+    priority: int = 0
+
+    def __hash__(self) -> int:
+        return hash((self.stream_id, self.device_index))
+
+    def __str__(self) -> str:
+        return f"stream {self.stream_id}"
+
+
+@dataclass
+class StreamPool:
+    """The set of streams available to one runtime (one device/process)."""
+
+    device_index: int = 0
+    streams: List[Stream] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        if not self.streams:
+            self.streams = [
+                Stream(DEFAULT_COMPUTE_STREAM, self.device_index),
+                Stream(COMM_STREAM, self.device_index),
+                Stream(MEMCPY_STREAM, self.device_index),
+            ]
+
+    def get(self, stream_id: int) -> Stream:
+        """Return the stream with ``stream_id``, creating it if needed."""
+        for stream in self.streams:
+            if stream.stream_id == stream_id:
+                return stream
+        stream = Stream(stream_id, self.device_index)
+        self.streams.append(stream)
+        return stream
+
+    @property
+    def default(self) -> Stream:
+        return self.get(DEFAULT_COMPUTE_STREAM)
+
+    @property
+    def comm(self) -> Stream:
+        return self.get(COMM_STREAM)
+
+    @property
+    def memcpy(self) -> Stream:
+        return self.get(MEMCPY_STREAM)
+
+    def ids(self) -> List[int]:
+        return [stream.stream_id for stream in self.streams]

@@ -1,0 +1,209 @@
+"""Tensors.
+
+A ``torchsim`` tensor carries *metadata first*: shape, dtype and device.  Its
+identity is the six-element tuple used by the PyTorch execution trace
+(``tensor_id, storage_id, offset, numel, itemsize, device``), which Mystique
+uses to track data dependencies between operators and to tell tensors apart
+(Section 4.4 of the paper).
+
+Values are optional.  Most operators' performance does not depend on input
+values, so the simulated kernels never touch them; the one important
+exception called out in the paper is the embedding-table lookup, whose access
+pattern is determined by the lookup *indices*.  For that case a tensor may
+carry a (numpy) payload in :attr:`Tensor.data`, and the cost model inspects
+it when present.
+"""
+
+from __future__ import annotations
+
+import itertools
+import math
+from dataclasses import dataclass, field
+from typing import Iterable, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.torchsim.device import Device
+from repro.torchsim.dtypes import DType, DEFAULT_DTYPE
+
+#: The six-element tensor identity used in execution traces:
+#: (tensor_id, storage_id, offset, numel, itemsize, device).
+TensorId = Tuple[int, int, int, int, int, str]
+
+_tensor_counter = itertools.count(1)
+_storage_counter = itertools.count(1)
+
+
+def reset_tensor_ids() -> None:
+    """Reset the global tensor/storage ID counters.
+
+    Intended for tests and for making independently generated traces
+    reproducible; production code never needs to call it.
+    """
+    global _tensor_counter, _storage_counter
+    _tensor_counter = itertools.count(1)
+    _storage_counter = itertools.count(1)
+
+
+def _next_tensor_id() -> int:
+    return next(_tensor_counter)
+
+
+def _next_storage_id() -> int:
+    return next(_storage_counter)
+
+
+@dataclass
+class Tensor:
+    """A simulated tensor.
+
+    Parameters
+    ----------
+    shape:
+        Tensor dimensions.  Scalars are represented by an empty tuple.
+    dtype:
+        Element type; defaults to float32.
+    device:
+        Logical device the tensor lives on.
+    data:
+        Optional numpy payload.  Only used when operator cost genuinely
+        depends on values (e.g. embedding lookup indices).
+    requires_grad:
+        Marks parameters so optimizers and DDP know what to update/reduce.
+    """
+
+    shape: Tuple[int, ...]
+    dtype: DType = DEFAULT_DTYPE
+    device: Device = field(default_factory=Device.cuda)
+    data: Optional[np.ndarray] = None
+    requires_grad: bool = False
+    tensor_id: int = field(default_factory=_next_tensor_id)
+    storage_id: int = field(default_factory=_next_storage_id)
+    storage_offset: int = 0
+    #: Gradient tensor populated by the backward pass (parameters only).
+    grad: Optional["Tensor"] = None
+
+    def __post_init__(self) -> None:
+        self.shape = tuple(int(dim) for dim in self.shape)
+        if any(dim < 0 for dim in self.shape):
+            raise ValueError(f"negative dimension in shape {self.shape}")
+
+    # ------------------------------------------------------------------
+    # Identity
+    # ------------------------------------------------------------------
+    @property
+    def id(self) -> TensorId:
+        """The six-element identity tuple used by the execution trace."""
+        return (
+            self.tensor_id,
+            self.storage_id,
+            self.storage_offset,
+            self.numel,
+            self.dtype.itemsize,
+            str(self.device),
+        )
+
+    # ------------------------------------------------------------------
+    # Shape / size helpers
+    # ------------------------------------------------------------------
+    @property
+    def numel(self) -> int:
+        return int(math.prod(self.shape)) if self.shape else 1
+
+    @property
+    def nbytes(self) -> int:
+        return self.numel * self.dtype.itemsize
+
+    @property
+    def ndim(self) -> int:
+        return len(self.shape)
+
+    def size(self, dim: Optional[int] = None):
+        if dim is None:
+            return self.shape
+        return self.shape[dim]
+
+    # ------------------------------------------------------------------
+    # Construction helpers
+    # ------------------------------------------------------------------
+    @classmethod
+    def empty(
+        cls,
+        shape: Sequence[int],
+        dtype: DType = DEFAULT_DTYPE,
+        device: Optional[Device] = None,
+        requires_grad: bool = False,
+    ) -> "Tensor":
+        """Create a metadata-only tensor (no payload)."""
+        return cls(
+            shape=tuple(shape),
+            dtype=dtype,
+            device=device if device is not None else Device.cuda(),
+            requires_grad=requires_grad,
+        )
+
+    @classmethod
+    def randn(
+        cls,
+        shape: Sequence[int],
+        dtype: DType = DEFAULT_DTYPE,
+        device: Optional[Device] = None,
+        requires_grad: bool = False,
+        rng: Optional[np.random.Generator] = None,
+        materialize: bool = False,
+    ) -> "Tensor":
+        """Create a tensor that semantically holds random values.
+
+        Values are only materialised when ``materialize=True`` (or when a
+        small payload is cheap); for large activations and weights the
+        payload is irrelevant to the cost model, so it is skipped.
+        """
+        tensor = cls.empty(shape, dtype=dtype, device=device, requires_grad=requires_grad)
+        if materialize:
+            generator = rng if rng is not None else np.random.default_rng(0)
+            tensor.data = generator.standard_normal(tensor.shape).astype(np.float32)
+        return tensor
+
+    @classmethod
+    def from_indices(
+        cls,
+        values: Iterable[int],
+        device: Optional[Device] = None,
+        dtype: DType = DType.INT64,
+    ) -> "Tensor":
+        """Create an index tensor with a materialised payload.
+
+        Index tensors are the value-sensitive case described in Section 4.4:
+        the lookup pattern (and therefore cost) of ``embedding_bag`` depends
+        on the actual indices.
+        """
+        array = np.asarray(list(values), dtype=np.int64)
+        tensor = cls(
+            shape=tuple(array.shape),
+            dtype=dtype,
+            device=device if device is not None else Device.cuda(),
+            data=array,
+        )
+        return tensor
+
+    def view_as_new_tensor(self) -> "Tensor":
+        """Return a tensor sharing storage (e.g. the result of ``aten::t``)."""
+        return Tensor(
+            shape=self.shape,
+            dtype=self.dtype,
+            device=self.device,
+            data=self.data,
+            requires_grad=self.requires_grad,
+            storage_id=self.storage_id,
+            storage_offset=self.storage_offset,
+        )
+
+    def type_string(self) -> str:
+        """The ``Tensor(<dtype>)`` string used in execution-trace metadata."""
+        return f"Tensor({self.dtype.type_name})"
+
+    def __repr__(self) -> str:
+        return (
+            f"Tensor(shape={self.shape}, dtype={self.dtype.type_name}, "
+            f"device={self.device}, id={self.tensor_id})"
+        )

@@ -1,0 +1,56 @@
+"""The evaluated workloads.
+
+Section 6.2 of the paper evaluates four models:
+
+* **PARAM linear** — a 20-layer linear model from the PARAM benchmark suite
+  (batch size 512, float32),
+* **ResNet** — ResNet-18 from torchvision (batch size 128, float32), with
+  PyTorch DDP for its distributed deployment,
+* **ASR** — a production multi-GPU automatic-speech-recognition training
+  flow built with the Fairseq toolkit (custom LSTM acoustic-model kernels),
+* **RM** — a multi-node, multi-GPU production recommendation model, the
+  production counterpart of the open-source DLRM benchmark (FBGEMM
+  embedding lookups, all-to-all exchanges, DDP-reduced MLPs).
+
+Each workload issues a full training iteration (forward, loss, backward,
+optimizer, and — when distributed — gradient/embedding communication)
+through a :class:`~repro.torchsim.runtime.Runtime`, which is what the
+ExecutionGraphObserver and the profiler capture.
+"""
+
+from repro.workloads.base import Workload, WorkloadConfig
+from repro.workloads.param_linear import ParamLinearWorkload
+from repro.workloads.resnet import ResNetWorkload
+from repro.workloads.asr import ASRWorkload
+from repro.workloads.rm import RMWorkload
+from repro.workloads.ddp import DistributedRunner, RankCapture
+
+#: Factory helpers keyed by the workload names used throughout the paper.
+WORKLOAD_FACTORIES = {
+    "param_linear": ParamLinearWorkload,
+    "resnet": ResNetWorkload,
+    "asr": ASRWorkload,
+    "rm": RMWorkload,
+}
+
+
+def build_workload(name: str, **kwargs) -> Workload:
+    """Instantiate one of the four evaluated workloads by name."""
+    if name not in WORKLOAD_FACTORIES:
+        known = ", ".join(sorted(WORKLOAD_FACTORIES))
+        raise KeyError(f"unknown workload {name!r}; known workloads: {known}")
+    return WORKLOAD_FACTORIES[name](**kwargs)
+
+
+__all__ = [
+    "Workload",
+    "WorkloadConfig",
+    "ParamLinearWorkload",
+    "ResNetWorkload",
+    "ASRWorkload",
+    "RMWorkload",
+    "DistributedRunner",
+    "RankCapture",
+    "WORKLOAD_FACTORIES",
+    "build_workload",
+]

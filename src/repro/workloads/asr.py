@@ -1,0 +1,193 @@
+"""ASR (automatic speech recognition) workload.
+
+The paper's ASR workload is a production multi-GPU training flow implemented
+with the Fairseq toolkit, built around a neural acoustic model
+(Section 6.2).  The model here follows that structure:
+
+* a SpecAugment-style feature augmentation step (custom ``fairseq::`` op),
+* a small convolutional front end that subsamples the spectrogram,
+* a stack of recurrent (LSTM) acoustic-model layers implemented as fused
+  custom kernels (``fairseq::lstm_layer``),
+* a linear projection to the output token vocabulary with a log-softmax /
+  NLL criterion,
+* a couple of JIT-fused pointwise groups in the feature pipeline.
+
+The custom LSTM kernels are exactly the "subset of custom operators we do
+not yet support" of Table 3: they are few in number (count coverage stays
+above 99%) but dominate the execution-time coverage gap (about a quarter of
+the GPU time), unless the user registers them through the custom-operator
+interface.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+from repro.torchsim import nn
+from repro.torchsim.dtypes import DType
+from repro.torchsim.runtime import Runtime
+from repro.torchsim.tensor import Tensor
+from repro.workloads.base import Workload, WorkloadConfig
+
+
+@dataclass
+class ASRConfig(WorkloadConfig):
+    """Configuration of the ASR acoustic-model training flow."""
+
+    batch_size: int = 32
+    #: Number of acoustic frames per utterance after feature extraction.
+    num_frames: int = 800
+    #: Mel filterbank features per frame.
+    feature_dim: int = 80
+    #: Hidden width of the encoder.
+    hidden_size: int = 1024
+    #: Inner width of the encoder feed-forward blocks.
+    ffn_size: int = 4096
+    #: Number of encoder feed-forward blocks.
+    num_ffn_blocks: int = 6
+    #: Number of recurrent (custom LSTM) layers.
+    num_lstm_layers: int = 2
+    #: Output token vocabulary (sentencepiece units).
+    vocab_size: int = 8192
+
+
+class ASRWorkload(Workload):
+    """Fairseq-style acoustic-model training."""
+
+    name = "asr"
+
+    def __init__(self, config: Optional[ASRConfig] = None, distributed: bool = False):
+        super().__init__(config if config is not None else ASRConfig())
+        self.config: ASRConfig
+        if distributed:
+            self.config.distributed = True
+        cfg = self.config
+
+        # Convolutional front end: two stride-2 convolutions over the
+        # (batch, 1, frames, features) spectrogram.
+        self.frontend = nn.Sequential(
+            nn.Conv2d(1, 32, kernel_size=3, stride=2, padding=1),
+            nn.BatchNorm2d(32),
+            nn.ReLU(inplace=True),
+            nn.Conv2d(32, 32, kernel_size=3, stride=2, padding=1),
+            nn.BatchNorm2d(32),
+            nn.ReLU(inplace=True),
+        )
+        # After two stride-2 convolutions the time/frequency axes shrink 4x.
+        self.subsampled_frames = cfg.num_frames // 4
+        self.frontend_out_dim = 32 * (cfg.feature_dim // 4)
+
+        self.input_projection = nn.Linear(self.frontend_out_dim, cfg.hidden_size)
+        # Encoder feed-forward blocks (the ATen-heavy part of the acoustic
+        # model; production ASR encoders interleave these with the
+        # recurrent layers).
+        self.ffn_blocks = nn.Sequential(
+            *[
+                nn.Sequential(
+                    nn.Linear(cfg.hidden_size, cfg.ffn_size, dtype=cfg.dtype),
+                    nn.ReLU(inplace=True),
+                    nn.Linear(cfg.ffn_size, cfg.hidden_size, dtype=cfg.dtype),
+                    nn.Dropout(0.1),
+                )
+                for _ in range(cfg.num_ffn_blocks)
+            ]
+        )
+        self.output_projection = nn.Linear(cfg.hidden_size, cfg.vocab_size)
+        self.dropout = nn.Dropout(0.1)
+
+        # Custom-operator parameters (the fused LSTM layers).
+        self.lstm_weights: List[dict] = []
+        input_size = cfg.hidden_size
+        for _ in range(cfg.num_lstm_layers):
+            weights = {
+                "weight_ih": Tensor.empty((4 * cfg.hidden_size, input_size), dtype=cfg.dtype),
+                "weight_hh": Tensor.empty((4 * cfg.hidden_size, cfg.hidden_size), dtype=cfg.dtype),
+                "bias": Tensor.empty((4 * cfg.hidden_size,), dtype=cfg.dtype),
+            }
+            for tensor in weights.values():
+                tensor.requires_grad = True
+            self.lstm_weights.append(weights)
+            input_size = cfg.hidden_size
+
+        if self.config.distributed:
+            self.ddp = nn.DistributedDataParallel(self.input_projection)
+
+        self.features = Tensor.empty((cfg.batch_size, 1, cfg.num_frames, cfg.feature_dim), dtype=cfg.dtype)
+        self.targets = Tensor.empty((cfg.batch_size * self.subsampled_frames,), dtype=DType.INT64)
+
+    # ------------------------------------------------------------------
+    def parameters(self) -> List[Tensor]:
+        params = (
+            self.frontend.parameters()
+            + self.input_projection.parameters()
+            + self.ffn_blocks.parameters()
+            + self.output_projection.parameters()
+        )
+        for weights in self.lstm_weights:
+            params.extend(weights.values())
+        return params
+
+    # ------------------------------------------------------------------
+    def forward_and_loss(self, runtime: Runtime) -> Tensor:
+        cfg = self.config
+
+        # Feature augmentation (custom op) + JIT-fused normalisation group.
+        augmented = runtime.call("fairseq::specaugment", self.features, 20, 10)
+        normalized = runtime.call("fused::TensorExprGroup", [augmented], 3)
+
+        # Convolutional subsampling front end.
+        conv_out = self.frontend(runtime, normalized, self.tape)
+        flattened = runtime.call(
+            "aten::view",
+            conv_out,
+            [cfg.batch_size * self.subsampled_frames, self.frontend_out_dim],
+        )
+        hidden = self.input_projection(runtime, flattened, self.tape)
+
+        # Encoder feed-forward blocks (ATen GEMMs).
+        hidden = self.ffn_blocks(runtime, hidden, self.tape)
+
+        hidden = runtime.call(
+            "aten::view", hidden, [self.subsampled_frames, cfg.batch_size, cfg.hidden_size]
+        )
+
+        # Recurrent acoustic model: fused custom LSTM layers.
+        for layer_index, weights in enumerate(self.lstm_weights):
+            hidden = runtime.call(
+                "fairseq::lstm_layer",
+                hidden,
+                weights["weight_ih"],
+                weights["weight_hh"],
+                weights["bias"],
+                cfg.hidden_size,
+            )
+            layer_input = hidden
+
+            def lstm_backward(rt, grad, layer_input=layer_input, weights=weights):
+                return rt.call(
+                    "fairseq::lstm_layer_backward",
+                    layer_input,
+                    layer_input,
+                    weights["weight_ih"],
+                    weights["weight_hh"],
+                    cfg.hidden_size,
+                )
+
+            self.tape.record(f"FairseqLstmBackward{layer_index}", lstm_backward)
+        hidden = self.dropout(runtime, hidden, self.tape)
+
+        # Output projection + token-level criterion.
+        flat_hidden = runtime.call(
+            "aten::view", hidden, [cfg.batch_size * self.subsampled_frames, cfg.hidden_size]
+        )
+        logits = self.output_projection(runtime, flat_hidden, self.tape)
+        log_probs = runtime.call("aten::_log_softmax", logits, -1, False)
+        loss = runtime.call("aten::nll_loss", log_probs, self.targets, None, 1, -100)
+
+        def loss_backward(rt, grad):
+            grad_logits = rt.call("aten::nll_loss_backward", loss, log_probs, self.targets, None, 1, -100, loss)
+            return rt.call("aten::_log_softmax_backward_data", grad_logits, logits, -1, "float32")
+
+        self.tape.record("NllLossBackward0", loss_backward)
+        return loss

@@ -1,0 +1,142 @@
+"""ResNet-18 workload.
+
+The paper uses torchvision's ResNet-18 with batch size 128 and float32 data,
+trained with PyTorch's DistributedDataParallel in the multi-GPU deployment
+(Section 6.2).  The model structure below follows the torchvision
+implementation: a 7x7 stem convolution, four stages of two BasicBlocks each
+(64/128/256/512 channels, stride-2 downsampling between stages), global
+average pooling and a 1000-way classifier, trained with cross-entropy.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+from repro.torchsim import nn
+from repro.torchsim.dtypes import DType
+from repro.torchsim.runtime import Runtime
+from repro.torchsim.tensor import Tensor
+from repro.workloads.base import Workload, WorkloadConfig
+
+
+@dataclass
+class ResNetConfig(WorkloadConfig):
+    """Configuration of the ResNet-18 workload."""
+
+    batch_size: int = 128
+    image_size: int = 224
+    num_classes: int = 1000
+    #: Channel widths of the four stages (ResNet-18 defaults).
+    stage_channels: tuple = (64, 128, 256, 512)
+    blocks_per_stage: int = 2
+
+
+class BasicBlock(nn.Module):
+    """The two-convolution residual block of ResNet-18/34."""
+
+    def __init__(self, in_channels: int, out_channels: int, stride: int = 1):
+        super().__init__()
+        self.conv1 = self.register_module(
+            nn.Conv2d(in_channels, out_channels, kernel_size=3, stride=stride, padding=1)
+        )
+        self.bn1 = self.register_module(nn.BatchNorm2d(out_channels))
+        self.relu1 = self.register_module(nn.ReLU(inplace=True))
+        self.conv2 = self.register_module(
+            nn.Conv2d(out_channels, out_channels, kernel_size=3, stride=1, padding=1)
+        )
+        self.bn2 = self.register_module(nn.BatchNorm2d(out_channels))
+        self.relu2 = self.register_module(nn.ReLU(inplace=True))
+        self.downsample: Optional[nn.Module] = None
+        if stride != 1 or in_channels != out_channels:
+            self.downsample = self.register_module(
+                nn.Sequential(
+                    nn.Conv2d(in_channels, out_channels, kernel_size=1, stride=stride),
+                    nn.BatchNorm2d(out_channels),
+                )
+            )
+
+    def forward(self, runtime, x, tape=None):
+        identity = x
+        out = self.conv1(runtime, x, tape)
+        out = self.bn1(runtime, out, tape)
+        out = self.relu1(runtime, out, tape)
+        out = self.conv2(runtime, out, tape)
+        out = self.bn2(runtime, out, tape)
+        if self.downsample is not None:
+            identity = self.downsample(runtime, x, tape)
+        out = runtime.call("aten::add", out, identity)
+        if tape is not None:
+            tape.record("AddBackward0", lambda rt, grad: grad)
+        return self.relu2(runtime, out, tape)
+
+
+class ResNet18(nn.Module):
+    """torchvision-style ResNet-18."""
+
+    def __init__(self, config: ResNetConfig):
+        super().__init__()
+        channels = config.stage_channels
+        self.stem_conv = self.register_module(nn.Conv2d(3, channels[0], kernel_size=7, stride=2, padding=3))
+        self.stem_bn = self.register_module(nn.BatchNorm2d(channels[0]))
+        self.stem_relu = self.register_module(nn.ReLU(inplace=True))
+        self.stem_pool = self.register_module(nn.MaxPool2d(kernel_size=3, stride=2, padding=1))
+
+        blocks: List[nn.Module] = []
+        in_channels = channels[0]
+        for stage_index, out_channels in enumerate(channels):
+            for block_index in range(config.blocks_per_stage):
+                stride = 2 if (stage_index > 0 and block_index == 0) else 1
+                blocks.append(BasicBlock(in_channels, out_channels, stride=stride))
+                in_channels = out_channels
+        self.stages = self.register_module(nn.Sequential(*blocks))
+
+        self.avgpool = self.register_module(nn.AdaptiveAvgPool2d(1))
+        self.fc = self.register_module(nn.Linear(channels[-1], config.num_classes))
+
+    def forward(self, runtime, x, tape=None):
+        out = self.stem_conv(runtime, x, tape)
+        out = self.stem_bn(runtime, out, tape)
+        out = self.stem_relu(runtime, out, tape)
+        out = self.stem_pool(runtime, out, tape)
+        out = self.stages(runtime, out, tape)
+        out = self.avgpool(runtime, out, tape)
+        out = runtime.call("aten::flatten", out, 1, -1)
+        return self.fc(runtime, out, tape)
+
+
+class ResNetWorkload(Workload):
+    """ResNet-18 image-classification training."""
+
+    name = "resnet"
+
+    def __init__(self, config: Optional[ResNetConfig] = None, distributed: bool = False):
+        super().__init__(config if config is not None else ResNetConfig())
+        self.config: ResNetConfig
+        if distributed:
+            self.config.distributed = True
+        self.model = ResNet18(self.config)
+        if self.config.distributed:
+            self.ddp = nn.DistributedDataParallel(self.model)
+        self.input = Tensor.empty(
+            (self.config.batch_size, 3, self.config.image_size, self.config.image_size),
+            dtype=self.config.dtype,
+        )
+        self.target = Tensor.empty((self.config.batch_size,), dtype=DType.INT64)
+
+    # ------------------------------------------------------------------
+    def parameters(self) -> List[Tensor]:
+        return self.model.parameters()
+
+    def forward_and_loss(self, runtime: Runtime) -> Tensor:
+        logits = self.model(runtime, self.input, self.tape)
+        loss = runtime.call("aten::cross_entropy_loss", logits, self.target)
+
+        def loss_backward(rt, grad):
+            grad_logits = rt.call(
+                "aten::_log_softmax_backward_data", loss, logits, -1, "float32"
+            )
+            return rt.call("aten::nll_loss_backward", loss, logits, self.target, None, 1, -100, loss)
+
+        self.tape.record("NllLossBackward0", loss_backward)
+        return loss

@@ -1,0 +1,159 @@
+"""Behavioural tests of the ATen operator implementations."""
+
+import pytest
+
+from repro.torchsim import Runtime, Tensor
+from repro.torchsim.dtypes import DType
+from repro.torchsim.kernel import KernelKind
+
+
+@pytest.fixture
+def rt():
+    return Runtime("A100")
+
+
+class TestShapeInference:
+    def test_linear_output_shape(self, rt):
+        out = rt.call("aten::linear", Tensor.empty((32, 128)), Tensor.empty((64, 128)), Tensor.empty((64,)))
+        assert out.shape == (32, 64)
+
+    def test_linear_3d_input(self, rt):
+        out = rt.call("aten::linear", Tensor.empty((8, 16, 128)), Tensor.empty((64, 128)), None)
+        assert out.shape == (8, 16, 64)
+
+    def test_mm_output_shape(self, rt):
+        out = rt.call("aten::mm", Tensor.empty((10, 20)), Tensor.empty((20, 30)))
+        assert out.shape == (10, 30)
+
+    def test_bmm_output_shape(self, rt):
+        out = rt.call("aten::bmm", Tensor.empty((4, 10, 20)), Tensor.empty((4, 20, 30)))
+        assert out.shape == (4, 10, 30)
+
+    def test_matmul_dispatches_to_mm(self, rt):
+        out = rt.call("aten::matmul", Tensor.empty((10, 20)), Tensor.empty((20, 5)))
+        assert out.shape == (10, 5)
+
+    def test_conv2d_output_shape(self, rt):
+        out = rt.call(
+            "aten::conv2d", Tensor.empty((2, 3, 32, 32)), Tensor.empty((16, 3, 3, 3)), None,
+            [1, 1], [1, 1], [1, 1], 1,
+        )
+        assert out.shape == (2, 16, 32, 32)
+
+    def test_conv2d_strided_output_shape(self, rt):
+        out = rt.call(
+            "aten::conv2d", Tensor.empty((2, 3, 32, 32)), Tensor.empty((16, 3, 3, 3)), None,
+            [2, 2], [1, 1], [1, 1], 1,
+        )
+        assert out.shape == (2, 16, 16, 16)
+
+    def test_max_pool2d_halves_spatial_dims(self, rt):
+        out = rt.call("aten::max_pool2d", Tensor.empty((2, 16, 32, 32)), [2, 2], [2, 2], [0, 0], [1, 1], False)
+        assert out.shape == (2, 16, 16, 16)
+
+    def test_adaptive_avg_pool_output(self, rt):
+        out = rt.call("aten::adaptive_avg_pool2d", Tensor.empty((2, 16, 7, 7)), [1, 1])
+        assert out.shape == (2, 16, 1, 1)
+
+    def test_cat_concatenates_along_dim(self, rt):
+        out = rt.call("aten::cat", [Tensor.empty((2, 3)), Tensor.empty((2, 5))], 1)
+        assert out.shape == (2, 8)
+
+    def test_view_resolves_minus_one(self, rt):
+        out = rt.call("aten::view", Tensor.empty((4, 6)), [2, -1])
+        assert out.shape == (2, 12)
+
+    def test_flatten(self, rt):
+        out = rt.call("aten::flatten", Tensor.empty((2, 3, 4, 5)), 1, -1)
+        assert out.shape == (2, 60)
+
+    def test_transpose_swaps_dims(self, rt):
+        out = rt.call("aten::transpose", Tensor.empty((3, 5)), 0, 1)
+        assert out.shape == (5, 3)
+
+    def test_t_is_composite_of_transpose(self, rt):
+        out = rt.call("aten::t", Tensor.empty((3, 5)))
+        assert out.shape == (5, 3)
+
+    def test_embedding_bag_output_shape(self, rt):
+        weight = Tensor.empty((1000, 64))
+        indices = Tensor.from_indices(range(128))
+        offsets = Tensor.empty((32,), dtype=DType.INT64)
+        out = rt.call("aten::embedding_bag", weight, indices, offsets, False, 0, False)
+        assert out.shape == (32, 64)
+
+    def test_sum_returns_scalar(self, rt):
+        out = rt.call("aten::sum", Tensor.empty((8, 8)))
+        assert out.shape == ()
+
+    def test_convolution_backward_returns_three_grads(self, rt):
+        grads = rt.call(
+            "aten::convolution_backward", Tensor.empty((2, 16, 32, 32)),
+            Tensor.empty((2, 3, 32, 32)), Tensor.empty((16, 3, 3, 3)), [1, 1], [1, 1], 1,
+        )
+        assert len(grads) == 3
+        assert grads[1].shape == (16, 3, 3, 3)
+
+
+class TestKernelLaunching:
+    def test_linear_launches_one_gemm(self, rt):
+        rt.call("aten::linear", Tensor.empty((32, 128)), Tensor.empty((64, 128)), Tensor.empty((64,)))
+        gemms = [k for k in rt.gpu.launches if k.desc.kind == KernelKind.GEMM]
+        assert len(gemms) == 1
+
+    def test_view_ops_launch_no_kernels(self, rt):
+        rt.call("aten::view", Tensor.empty((4, 4)), [16])
+        rt.call("aten::t", Tensor.empty((4, 4)))
+        assert rt.gpu.launches == []
+
+    def test_relu_launches_elementwise_kernel(self, rt):
+        rt.call("aten::relu", Tensor.empty((1024,)))
+        assert len(rt.gpu.launches) == 1
+        assert rt.gpu.launches[0].desc.kind == KernelKind.ELEMENTWISE
+
+    def test_dropout_eval_mode_launches_nothing(self, rt):
+        rt.call("aten::dropout", Tensor.empty((1024,)), 0.5, False)
+        assert rt.gpu.launches == []
+
+    def test_conv_with_bias_launches_two_kernels(self, rt):
+        rt.call(
+            "aten::conv2d", Tensor.empty((2, 3, 8, 8)), Tensor.empty((4, 3, 3, 3)),
+            Tensor.empty((4,)), [1, 1], [1, 1], [1, 1], 1,
+        )
+        assert len(rt.gpu.launches) == 2
+
+    def test_memcpy_kernel_for_copy(self, rt):
+        rt.call("aten::copy_", Tensor.empty((256,)), Tensor.empty((256,)), False)
+        assert rt.gpu.launches[0].desc.kind == KernelKind.MEMCPY
+
+    def test_gemm_flops_scale_with_problem_size(self, rt):
+        rt.call("aten::mm", Tensor.empty((64, 64)), Tensor.empty((64, 64)))
+        rt.call("aten::mm", Tensor.empty((128, 128)), Tensor.empty((128, 128)))
+        small, large = [k.desc.flops for k in rt.gpu.launches]
+        assert large == pytest.approx(small * 8)
+
+    def test_larger_gemm_takes_longer(self, rt):
+        rt.call("aten::mm", Tensor.empty((64, 64)), Tensor.empty((64, 64)))
+        rt.call("aten::mm", Tensor.empty((1024, 1024)), Tensor.empty((1024, 1024)))
+        small, large = [k.duration for k in rt.gpu.launches]
+        assert large > small
+
+
+class TestEmbeddingValueSensitivity:
+    def test_concentrated_indices_yield_higher_locality(self, rt):
+        weight = Tensor.empty((100_000, 64))
+        offsets = Tensor.empty((64,), dtype=DType.INT64)
+        hot = Tensor.from_indices([7] * 4096)
+        cold = Tensor.from_indices(range(4096))
+        rt.call("aten::embedding_bag", weight, hot, offsets, False, 0, False)
+        rt.call("aten::embedding_bag", weight, cold, offsets, False, 0, False)
+        hot_kernel, cold_kernel = rt.gpu.launches
+        assert hot_kernel.desc.locality > cold_kernel.desc.locality
+        assert hot_kernel.duration <= cold_kernel.duration
+
+    def test_missing_indices_payload_uses_default_locality(self, rt):
+        weight = Tensor.empty((100_000, 64))
+        offsets = Tensor.empty((64,), dtype=DType.INT64)
+        indices = Tensor.empty((4096,), dtype=DType.INT64)  # no payload
+        rt.call("aten::embedding_bag", weight, indices, offsets, False, 0, False)
+        assert rt.gpu.launches[0].desc.locality == pytest.approx(0.35)

@@ -1,0 +1,168 @@
+"""Tests for the gradient tape, nn modules, optimizer and DDP wrapper."""
+
+import pytest
+
+from repro.torchsim import Runtime, Tensor, ExecutionGraphObserver
+from repro.torchsim import nn
+from repro.torchsim.autograd import AUTOGRAD_THREAD, GradientTape
+from repro.torchsim.distributed import DistributedContext
+from repro.torchsim.kernel import OpCategory
+
+
+class TestGradientTape:
+    def test_backward_runs_entries_in_reverse(self):
+        rt = Runtime("A100")
+        tape = GradientTape()
+        order = []
+        tape.record("First", lambda r, g: order.append("first"))
+        tape.record("Second", lambda r, g: order.append("second"))
+        tape.backward(rt)
+        assert order == ["second", "first"]
+
+    def test_backward_clears_entries(self):
+        rt = Runtime("A100")
+        tape = GradientTape()
+        tape.record("Step", lambda r, g: None)
+        tape.backward(rt)
+        assert len(tape) == 0
+
+    def test_backward_wraps_in_evaluate_function_nodes(self):
+        rt = Runtime("A100")
+        observer = rt.attach_observer(ExecutionGraphObserver())
+        observer.register_callback(None)
+        observer.start()
+        tape = GradientTape()
+        tape.record("AddmmBackward0", lambda r, g: r.call("aten::relu", Tensor.empty((4,))))
+        tape.backward(rt)
+        observer.stop()
+        wrappers = observer.trace.find_by_label("autograd::engine::evaluate_function")
+        assert len(wrappers) == 1
+        assert "AddmmBackward0" in wrappers[0].name
+        children = observer.trace.children(wrappers[0].id)
+        assert children[0].name == "aten::relu"
+
+    def test_backward_runs_on_autograd_thread(self):
+        rt = Runtime("A100")
+        seen = []
+        tape = GradientTape()
+        tape.record("Step", lambda r, g: seen.append(rt.current_thread))
+        tape.backward(rt)
+        assert seen == [AUTOGRAD_THREAD]
+
+    def test_grad_hooks_called(self):
+        tape = GradientTape()
+        received = []
+        tape.add_grad_hook(received.append)
+        parameter = Tensor.empty((4,), requires_grad=True)
+        tape.grad_ready(parameter)
+        assert received == [parameter]
+        tape.clear_grad_hooks()
+        tape.grad_ready(parameter)
+        assert len(received) == 1
+
+
+class TestModules:
+    def test_linear_parameters(self):
+        layer = nn.Linear(16, 8)
+        params = layer.parameters()
+        assert len(params) == 2
+        assert params[0].shape == (8, 16)
+        assert params[1].shape == (8,)
+        assert all(p.requires_grad for p in params)
+
+    def test_linear_without_bias(self):
+        assert len(nn.Linear(16, 8, bias=False).parameters()) == 1
+
+    def test_sequential_collects_child_parameters(self):
+        model = nn.Sequential(nn.Linear(8, 8), nn.ReLU(), nn.Linear(8, 4))
+        assert len(model.parameters()) == 4
+
+    def test_forward_and_backward_populate_grads(self):
+        rt = Runtime("A100")
+        tape = GradientTape()
+        layer = nn.Linear(16, 8)
+        out = layer(rt, Tensor.empty((4, 16)), tape)
+        assert out.shape == (4, 8)
+        tape.backward(rt)
+        assert layer.weight.grad is not None
+        assert layer.bias.grad is not None
+
+    def test_conv_bn_relu_pipeline(self):
+        rt = Runtime("A100")
+        tape = GradientTape()
+        block = nn.Sequential(nn.Conv2d(3, 8, 3, padding=1), nn.BatchNorm2d(8), nn.ReLU())
+        out = block(rt, Tensor.empty((2, 3, 16, 16)), tape)
+        assert out.shape == (2, 8, 16, 16)
+        tape.backward(rt)
+        conv = block.layers[0]
+        assert conv.weight.grad is not None
+
+    def test_mlp_output_shape(self):
+        rt = Runtime("A100")
+        mlp = nn.MLP((32, 64, 16))
+        out = mlp(rt, Tensor.empty((8, 32)))
+        assert out.shape == (8, 16)
+
+    def test_embedding_bag_module(self):
+        rt = Runtime("A100")
+        tape = GradientTape()
+        bag = nn.EmbeddingBag(1000, 32)
+        out = bag.forward(rt, Tensor.from_indices(range(64)), None, tape)
+        assert out.shape == (64, 32)
+        tape.backward(rt)
+        assert bag.weight.grad is not None
+
+    def test_parameter_bytes(self):
+        layer = nn.Linear(16, 8)
+        assert layer.parameter_bytes() == (16 * 8 + 8) * 4
+
+
+class TestOptimizerAndDDP:
+    def test_sgd_step_emits_foreach_ops(self):
+        rt = Runtime("A100")
+        tape = GradientTape()
+        layer = nn.Linear(16, 8)
+        layer(rt, Tensor.empty((4, 16)), tape)
+        tape.backward(rt)
+        optimizer = nn.SGD(layer.parameters(), lr=0.1)
+        before = len(rt.gpu.launches)
+        optimizer.step(rt)
+        assert len(rt.gpu.launches) > before
+
+    def test_sgd_without_grads_is_noop(self):
+        rt = Runtime("A100")
+        optimizer = nn.SGD(nn.Linear(8, 8).parameters(), lr=0.1)
+        optimizer.step(rt)
+        assert rt.gpu.launches == []
+
+    def test_sgd_zero_grad_clears(self):
+        layer = nn.Linear(8, 8)
+        layer.weight.grad = Tensor.empty((8, 8))
+        optimizer = nn.SGD(layer.parameters())
+        optimizer.zero_grad()
+        assert layer.weight.grad is None
+
+    def test_ddp_issues_allreduce_during_backward(self):
+        dist = DistributedContext(rank=0, world_size=8)
+        rt = Runtime("A100", dist=dist)
+        tape = GradientTape()
+        model = nn.Sequential(nn.Linear(256, 256), nn.ReLU(), nn.Linear(256, 256))
+        ddp = nn.DistributedDataParallel(model, bucket_cap_mb=0.1)
+        ddp.attach(rt, tape)
+        ddp(rt, Tensor.empty((32, 256)), tape)
+        tape.backward(rt)
+        ddp.finalize(rt)
+        comm = [k for k in rt.gpu.launches if k.category == OpCategory.COMM]
+        assert comm, "DDP should have launched at least one all-reduce"
+
+    def test_ddp_without_dist_context_is_local(self):
+        rt = Runtime("A100")
+        tape = GradientTape()
+        model = nn.Linear(64, 64)
+        ddp = nn.DistributedDataParallel(model)
+        ddp.attach(rt, tape)
+        ddp(rt, Tensor.empty((8, 64)), tape)
+        tape.backward(rt)
+        ddp.finalize(rt)
+        comm = [k for k in rt.gpu.launches if k.category == OpCategory.COMM]
+        assert len(comm) == 1  # a single local (world-size 1) flush

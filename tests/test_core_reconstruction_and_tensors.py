@@ -1,0 +1,167 @@
+"""Tests for operator reconstruction and tensor management."""
+
+import pytest
+
+from repro.core.reconstruction import OperatorReconstructor, ReconstructionError
+from repro.core.selection import OperatorSelector
+from repro.core.tensors import EmbeddingValueConfig, TensorManager
+from repro.et.schema import ETNode
+from repro.torchsim import Runtime, Tensor
+from repro.torchsim.dtypes import DType
+
+
+class TestOperatorReconstructor:
+    def _addmm_node(self, trace):
+        return trace.find_by_name("aten::addmm")[0]
+
+    def test_reconstruct_linear_node(self, captured_runtime_pieces):
+        trace = captured_runtime_pieces["trace"]
+        node = trace.find_by_name("aten::linear")[0]
+        reconstructed = OperatorReconstructor().reconstruct(node)
+        assert reconstructed.op_name == "aten::linear"
+        assert "graph(" in reconstructed.ir_text
+        assert reconstructed.function.num_inputs == len(reconstructed.tensor_arg_positions)
+
+    def test_reconstructed_callable_executes(self, captured_runtime_pieces):
+        trace = captured_runtime_pieces["trace"]
+        node = self._addmm_node(trace)
+        reconstructed = OperatorReconstructor().reconstruct(node)
+        rt = Runtime("A100")
+        inputs = [Tensor.empty(tuple(shape)) for shape in node.input_shapes if shape]
+        out = reconstructed.function(rt, *inputs)
+        assert out.shape == tuple(node.output_shapes[0])
+        assert rt.gpu.launches
+
+    def test_cache_returns_same_object(self, captured_runtime_pieces):
+        trace = captured_runtime_pieces["trace"]
+        node = self._addmm_node(trace)
+        reconstructor = OperatorReconstructor()
+        assert reconstructor.reconstruct(node) is reconstructor.reconstruct(node)
+        assert len(reconstructor) == 1
+
+    def test_annotation_node_rejected(self):
+        with pytest.raises(ReconstructionError):
+            OperatorReconstructor().reconstruct(ETNode(name="## forward ##", id=2, parent=1))
+
+    def test_unknown_operator_rejected(self):
+        node = ETNode(name="aten::not_an_op", id=2, parent=1,
+                      op_schema="aten::not_an_op(Tensor x) -> Tensor")
+        with pytest.raises(ReconstructionError, match="not registered"):
+            OperatorReconstructor().reconstruct(node)
+
+    def test_invalid_schema_rejected(self):
+        node = ETNode(name="aten::mm", id=2, parent=1, op_schema="garbage schema text")
+        with pytest.raises(ReconstructionError):
+            OperatorReconstructor().reconstruct(node)
+
+    def test_non_tensor_constants_baked_in(self, captured_runtime_pieces):
+        trace = captured_runtime_pieces["trace"]
+        node = trace.find_by_name("aten::mse_loss")[0]
+        reconstructed = OperatorReconstructor().reconstruct(node)
+        # mse_loss(self, target, reduction=1): two tensor inputs only.
+        assert reconstructed.function.num_inputs == 2
+
+
+class TestTensorManager:
+    def test_classification_intermediate_vs_external(self, captured_runtime_pieces):
+        trace = captured_runtime_pieces["trace"]
+        selection = OperatorSelector().select(trace)
+        manager = TensorManager()
+        classification = manager.classify(selection.entries)
+        assert classification.external, "parameters and inputs must be external"
+        assert classification.intermediate, "activations must be intermediate"
+        overlap = set(classification.external) & set(classification.intermediate)
+        assert not overlap
+
+    def test_external_tensor_materialized_with_recorded_shape(self):
+        manager = TensorManager()
+        tensor = Tensor.empty((16, 32), dtype=DType.FLOAT16)
+        value, shape, type_str = (list(tensor.id), list(tensor.shape), tensor.type_string())
+        replayed = manager.get_input(value, shape, type_str)
+        assert replayed.shape == (16, 32)
+        assert replayed.dtype == DType.FLOAT16
+
+    def test_same_reference_returns_same_tensor(self):
+        manager = TensorManager()
+        tensor = Tensor.empty((8,))
+        ref = list(tensor.id)
+        first = manager.get_input(ref, [8], "Tensor(float32)")
+        second = manager.get_input(ref, [8], "Tensor(float32)")
+        assert first is second
+
+    def test_register_outputs_feeds_downstream_ops(self):
+        manager = TensorManager()
+        produced = Tensor.empty((4, 4))
+        node = ETNode(
+            name="aten::mm", id=2, parent=1, op_schema="aten::mm(Tensor a, Tensor b) -> Tensor",
+            outputs=[list(produced.id)], output_shapes=[[4, 4]], output_types=["Tensor(float32)"],
+        )
+        replayed_output = Tensor.empty((4, 4))
+        manager.register_outputs(node, replayed_output)
+        fetched = manager.get_input(list(produced.id), [4, 4], "Tensor(float32)")
+        assert fetched is replayed_output
+
+    def test_tensor_list_input(self):
+        manager = TensorManager()
+        tensors = [Tensor.empty((2,)), Tensor.empty((3,))]
+        value = [list(t.id) for t in tensors]
+        shapes = [[2], [3]]
+        type_str = "GenericList[Tensor(float32),Tensor(float32)]"
+        result = manager.get_input(value, shapes, type_str)
+        assert isinstance(result, list)
+        assert [t.shape for t in result] == [(2,), (3,)]
+
+    def test_non_tensor_passthrough(self):
+        manager = TensorManager()
+        assert manager.get_input(5, [], "Int") == 5
+        assert manager.get_input("sum", [], "String") == "sum"
+
+    def test_reset_intermediates_keeps_external(self, captured_runtime_pieces):
+        trace = captured_runtime_pieces["trace"]
+        selection = OperatorSelector().select(trace)
+        manager = TensorManager()
+        manager.classify(selection.entries)
+        for entry in selection.entries:
+            manager.gather_inputs(entry.node)
+        before = manager.registered_count()
+        manager.reset_intermediates()
+        after = manager.registered_count()
+        assert after <= before
+        assert after >= len(set(manager.classification.external)) - before  # externals retained
+
+    def test_embedding_config_generates_indices_payload(self):
+        manager = TensorManager(embedding_config=EmbeddingValueConfig(table_size=1000, seed=3))
+        indices = Tensor.empty((256,), dtype=DType.INT64)
+        replayed = manager.get_input(list(indices.id), [256], "Tensor(int64)")
+        assert replayed.data is not None
+        assert replayed.data.max() < 1000
+        assert replayed.data.min() >= 0
+
+    def test_without_embedding_config_indices_have_no_payload(self):
+        manager = TensorManager(embedding_config=None)
+        indices = Tensor.empty((256,), dtype=DType.INT64)
+        replayed = manager.get_input(list(indices.id), [256], "Tensor(int64)")
+        assert replayed.data is None
+
+
+class TestEmbeddingValueConfig:
+    def test_uniform_distribution(self):
+        config = EmbeddingValueConfig(table_size=50, distribution="uniform", seed=1)
+        values = config.generate(1000)
+        assert values.min() >= 0 and values.max() < 50
+
+    def test_zipf_is_skewed(self):
+        config = EmbeddingValueConfig(table_size=10_000, distribution="zipf", seed=1)
+        uniform = EmbeddingValueConfig(table_size=10_000, distribution="uniform", seed=1)
+        zipf_hot_mass = (config.generate(10_000) < 10).mean()
+        uniform_hot_mass = (uniform.generate(10_000) < 10).mean()
+        # Zipf concentrates far more mass on the hottest rows than uniform.
+        assert zipf_hot_mass > 10 * max(uniform_hot_mass, 1e-3)
+
+    def test_deterministic_for_fixed_seed(self):
+        config = EmbeddingValueConfig(seed=9)
+        assert (config.generate(100) == config.generate(100)).all()
+
+    def test_unknown_distribution_rejected(self):
+        with pytest.raises(ValueError):
+            EmbeddingValueConfig(distribution="gaussian").generate(10)

@@ -1,0 +1,111 @@
+"""Tests for scaled-down emulation and standalone benchmark generation."""
+
+import subprocess
+import sys
+
+import pytest
+
+from repro.core.generator import BenchmarkGenerator
+from repro.core.replayer import ReplayConfig
+from repro.core.scaledown import ScaleDownConfig, ScaleDownEmulator
+from repro.torchsim.distributed import DistributedContext
+from repro.torchsim.runtime import Runtime
+from repro.bench.harness import capture_workload
+from tests.conftest import make_small_rm
+
+
+def distributed_captures(world_size=8, ranks=2):
+    captures = []
+    for rank in range(ranks):
+        dist = DistributedContext(rank=rank, world_size=world_size)
+        runtime = Runtime("A100", rank=rank, dist=dist)
+        workload = make_small_rm(rank=rank, world_size=world_size)
+        capture = capture_workload(workload, warmup_iterations=0, runtime=runtime)
+        capture.execution_trace.metadata["world_size"] = world_size
+        captures.append(capture)
+    return captures
+
+
+class TestScaleDownConfig:
+    def test_invalid_ranks_rejected(self):
+        with pytest.raises(ValueError):
+            ScaleDownConfig(emulated_world_size=8, replay_ranks=0)
+        with pytest.raises(ValueError):
+            ScaleDownConfig(emulated_world_size=2, replay_ranks=4)
+
+
+class TestScaleDownEmulator:
+    def test_as_recorded_scale_reproduces_time(self):
+        captures = distributed_captures(world_size=8, ranks=2)
+        emulator = ScaleDownEmulator(ScaleDownConfig(emulated_world_size=8, replay_ranks=2))
+        outcome = emulator.emulate(
+            [c.execution_trace for c in captures], [c.profiler_trace for c in captures]
+        )
+        original = sum(c.iteration_time_us for c in captures) / len(captures)
+        assert outcome["estimated_iteration_time_us"] == pytest.approx(original, rel=0.25)
+        assert outcome["replay_ranks"] == 2
+        assert len(outcome["per_rank_results"]) == 2
+
+    def test_delay_scale_identity_when_scales_match(self):
+        captures = distributed_captures(world_size=8, ranks=1)
+        emulator = ScaleDownEmulator(ScaleDownConfig(emulated_world_size=8, replay_ranks=2))
+        assert emulator.communication_delay_scale(captures[0].execution_trace, 8) == pytest.approx(1.0)
+
+    def test_delay_scale_grows_with_emulated_world_size(self):
+        captures = distributed_captures(world_size=8, ranks=1)
+        emulator = ScaleDownEmulator(ScaleDownConfig(emulated_world_size=64, replay_ranks=2))
+        scale = emulator.communication_delay_scale(captures[0].execution_trace, 8)
+        assert scale > 1.0
+
+    def test_emulating_larger_scale_increases_time(self):
+        captures = distributed_captures(world_size=8, ranks=1)
+        same_scale = ScaleDownEmulator(ScaleDownConfig(emulated_world_size=8, replay_ranks=1))
+        larger_scale = ScaleDownEmulator(ScaleDownConfig(emulated_world_size=64, replay_ranks=1))
+        base = same_scale.emulate([captures[0].execution_trace], [captures[0].profiler_trace])
+        scaled = larger_scale.emulate([captures[0].execution_trace], [captures[0].profiler_trace])
+        assert scaled["estimated_iteration_time_us"] > base["estimated_iteration_time_us"]
+
+    def test_single_gpu_trace_has_unit_delay_scale(self, small_linear_capture):
+        emulator = ScaleDownEmulator(ScaleDownConfig(emulated_world_size=4, replay_ranks=2))
+        assert emulator.communication_delay_scale(
+            small_linear_capture.execution_trace, 4
+        ) == pytest.approx(1.0)
+
+
+class TestBenchmarkGenerator:
+    def test_generate_source_is_valid_python(self, small_linear_capture):
+        generator = BenchmarkGenerator(ReplayConfig(device="A100", iterations=2))
+        source = generator.generate_source("param_linear", "et.json", "profiler.json")
+        compile(source, "generated_benchmark.py", "exec")
+        assert "ReplayConfig(" in source
+        assert "param_linear" in source
+
+    def test_write_emits_script_and_traces(self, small_linear_capture, tmp_path):
+        generator = BenchmarkGenerator()
+        artifacts = generator.write(
+            tmp_path, "param_linear",
+            small_linear_capture.execution_trace, small_linear_capture.profiler_trace,
+        )
+        assert artifacts.script_path.exists()
+        assert artifacts.et_path.exists()
+        assert artifacts.profiler_path is not None and artifacts.profiler_path.exists()
+
+    def test_generated_benchmark_runs_standalone(self, small_linear_capture, tmp_path):
+        generator = BenchmarkGenerator(ReplayConfig(iterations=1))
+        artifacts = generator.write(
+            tmp_path, "param_linear",
+            small_linear_capture.execution_trace, small_linear_capture.profiler_trace,
+        )
+        completed = subprocess.run(
+            [sys.executable, str(artifacts.script_path)],
+            capture_output=True, text=True, timeout=120,
+        )
+        assert completed.returncode == 0, completed.stderr
+        assert "iteration time (ms)" in completed.stdout
+
+    def test_write_without_profiler_trace(self, small_linear_capture, tmp_path):
+        artifacts = BenchmarkGenerator().write(
+            tmp_path, "no_profiler", small_linear_capture.execution_trace, None
+        )
+        assert artifacts.profiler_path is None
+        assert artifacts.script_path.exists()

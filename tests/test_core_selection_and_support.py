@@ -1,0 +1,140 @@
+"""Tests for the replay-support policy and operator selection."""
+
+import pytest
+
+from repro.core.registry import ReplaySupport
+from repro.core.selection import OperatorSelector
+from repro.et.schema import ETNode
+from repro.bench.harness import capture_workload
+from tests.conftest import make_small_rm
+
+
+def op_node(name, schema="x::y(Tensor a) -> Tensor", node_id=2, parent=1):
+    return ETNode(name=name, id=node_id, parent=parent, op_schema=schema)
+
+
+class TestReplaySupport:
+    def test_aten_supported_by_default(self):
+        support = ReplaySupport()
+        assert support.is_supported(op_node("aten::mm", "aten::mm(Tensor a, Tensor b) -> Tensor"))
+
+    def test_c10d_and_fbgemm_supported_by_default(self):
+        support = ReplaySupport()
+        assert support.is_supported(op_node("c10d::all_reduce", "c10d::all_reduce(Tensor[] t) -> Tensor[]"))
+        assert support.is_supported(op_node(
+            "fbgemm::split_embedding_codegen_lookup_function",
+            "fbgemm::split_embedding_codegen_lookup_function(Tensor w) -> Tensor",
+        ))
+
+    def test_fused_unsupported_by_default(self):
+        support = ReplaySupport()
+        node = op_node("fused::TensorExprGroup", "fused::TensorExprGroup(Tensor[] i) -> Tensor")
+        assert not support.is_supported(node)
+        assert "fused" in support.unsupported_reason(node)
+
+    def test_fairseq_unsupported_by_default(self):
+        support = ReplaySupport()
+        node = op_node("fairseq::lstm_layer", "fairseq::lstm_layer(Tensor x) -> Tensor")
+        assert not support.is_supported(node)
+        assert "fairseq" in support.unsupported_reason(node)
+
+    def test_register_library_enables_ops(self):
+        support = ReplaySupport()
+        support.register_library("fairseq")
+        assert support.is_supported(op_node("fairseq::lstm_layer", "fairseq::lstm_layer(Tensor x) -> Tensor"))
+
+    def test_register_existing_custom_op_by_name(self):
+        support = ReplaySupport()
+        support.register_custom_op("fairseq::lstm_layer")
+        assert support.is_supported(op_node("fairseq::lstm_layer", "fairseq::lstm_layer(Tensor x) -> Tensor"))
+        assert "fairseq::lstm_layer" in support.user_registered_ops
+
+    def test_register_new_custom_op_requires_impl_and_schema(self):
+        support = ReplaySupport()
+        with pytest.raises(ValueError):
+            support.register_custom_op("mylib::new_op")
+
+    def test_register_new_custom_op_with_impl(self):
+        support = ReplaySupport()
+
+        def impl(ctx, x):
+            return x
+
+        support.register_custom_op("mylib::identity", impl, "mylib::identity(Tensor x) -> Tensor")
+        assert support.registry.has("mylib::identity")
+        assert support.is_supported(op_node("mylib::identity", "mylib::identity(Tensor x) -> Tensor"))
+
+    def test_annotation_nodes_never_supported(self):
+        support = ReplaySupport()
+        annotation = ETNode(name="## forward ##", id=2, parent=1)
+        assert not support.is_supported(annotation)
+
+    def test_unknown_operator_unsupported(self):
+        support = ReplaySupport()
+        node = op_node("aten::imaginary_op", "aten::imaginary_op(Tensor x) -> Tensor")
+        assert not support.is_supported(node)
+        assert "no implementation" in support.unsupported_reason(node)
+
+
+class TestOperatorSelector:
+    def test_parent_child_dedup(self, captured_runtime_pieces):
+        selection = OperatorSelector().select(captured_runtime_pieces["trace"])
+        names = [entry.node.name for entry in selection.entries]
+        assert "aten::linear" in names
+        assert "aten::addmm" not in names  # only appears as a child of linear
+        assert "aten::as_strided" not in names
+
+    def test_coverage_full_for_linear_model(self, captured_runtime_pieces):
+        selection = OperatorSelector().select(
+            captured_runtime_pieces["trace"], captured_runtime_pieces["profiler_trace"]
+        )
+        coverage = selection.coverage()
+        assert coverage.count_coverage == pytest.approx(1.0)
+        assert coverage.time_coverage == pytest.approx(1.0)
+        assert coverage.total_gpu_time_us > 0
+
+    def test_rm_coverage_below_one(self):
+        capture = capture_workload(make_small_rm(), warmup_iterations=0)
+        selection = OperatorSelector().select(capture.execution_trace, capture.profiler_trace)
+        coverage = selection.coverage()
+        assert coverage.count_coverage < 1.0
+        assert coverage.time_coverage < 1.0
+        reasons = {entry.node.namespace for entry in selection.unsupported_entries()}
+        assert "internal" in reasons
+        assert "fused" in reasons
+
+    def test_category_counts(self, captured_runtime_pieces):
+        selection = OperatorSelector().select(captured_runtime_pieces["trace"])
+        counts = selection.category_counts()
+        assert counts["aten"] == len(selection)
+
+    def test_subtrace_restriction(self, captured_runtime_pieces):
+        selection = OperatorSelector().select(
+            captured_runtime_pieces["trace"], subtrace_label="## forward ##"
+        )
+        full = OperatorSelector().select(captured_runtime_pieces["trace"])
+        assert 0 < len(selection) < len(full)
+        # Backward operators live outside the forward label.
+        assert all("Backward" not in entry.node.name for entry in selection.entries)
+
+    def test_missing_subtrace_label_raises(self, captured_runtime_pieces):
+        with pytest.raises(KeyError):
+            OperatorSelector().select(captured_runtime_pieces["trace"], subtrace_label="## nope ##")
+
+    def test_category_filter(self):
+        capture = capture_workload(make_small_rm(rank=0, world_size=1), warmup_iterations=0)
+        selection = OperatorSelector().select(capture.execution_trace, categories=["custom"])
+        assert selection.entries
+        assert all(entry.category == "custom" for entry in selection.entries)
+
+    def test_invalid_category_rejected(self, captured_runtime_pieces):
+        with pytest.raises(ValueError):
+            OperatorSelector().select(captured_runtime_pieces["trace"], categories=["gpu"])
+
+    def test_unsupported_time_attributed(self):
+        capture = capture_workload(make_small_rm(), warmup_iterations=0)
+        selection = OperatorSelector().select(capture.execution_trace, capture.profiler_trace)
+        unsupported_time = sum(
+            entry.original_gpu_time_us for entry in selection.unsupported_entries()
+        )
+        assert unsupported_time > 0

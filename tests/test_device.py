@@ -1,0 +1,51 @@
+"""Unit tests for repro.torchsim.device."""
+
+import pytest
+
+from repro.torchsim.device import Device
+
+
+class TestDeviceConstruction:
+    def test_cpu_factory(self):
+        device = Device.cpu()
+        assert device.type == "cpu"
+        assert device.index == 0
+        assert not device.is_cuda
+
+    def test_cuda_factory_default_index(self):
+        device = Device.cuda()
+        assert device.type == "cuda"
+        assert device.index == 0
+        assert device.is_cuda
+
+    def test_cuda_factory_explicit_index(self):
+        assert Device.cuda(3).index == 3
+
+    def test_invalid_type_rejected(self):
+        with pytest.raises(ValueError):
+            Device("tpu", 0)
+
+    def test_negative_index_rejected(self):
+        with pytest.raises(ValueError):
+            Device("cuda", -1)
+
+
+class TestDeviceParsing:
+    def test_parse_cpu(self):
+        assert Device.parse("cpu") == Device.cpu()
+
+    def test_parse_cuda_with_index(self):
+        assert Device.parse("cuda:2") == Device.cuda(2)
+
+    def test_parse_round_trips_str(self):
+        for device in (Device.cpu(), Device.cuda(0), Device.cuda(5)):
+            assert Device.parse(str(device)) == device
+
+    def test_str_format(self):
+        assert str(Device.cpu()) == "cpu"
+        assert str(Device.cuda(1)) == "cuda:1"
+
+    def test_equality_and_hash(self):
+        assert Device.cuda(1) == Device.cuda(1)
+        assert Device.cuda(1) != Device.cuda(2)
+        assert len({Device.cuda(1), Device.cuda(1), Device.cpu()}) == 2

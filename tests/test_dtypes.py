@@ -1,0 +1,49 @@
+"""Unit tests for repro.torchsim.dtypes."""
+
+import pytest
+
+from repro.torchsim.dtypes import DType, DEFAULT_DTYPE
+
+
+class TestDTypeBasics:
+    def test_float32_itemsize(self):
+        assert DType.FLOAT32.itemsize == 4
+
+    def test_float16_itemsize(self):
+        assert DType.FLOAT16.itemsize == 2
+
+    def test_int64_itemsize(self):
+        assert DType.INT64.itemsize == 8
+
+    def test_bool_itemsize(self):
+        assert DType.BOOL.itemsize == 1
+
+    def test_default_dtype_is_float32(self):
+        assert DEFAULT_DTYPE is DType.FLOAT32
+
+    def test_floating_flags(self):
+        assert DType.FLOAT32.is_floating
+        assert DType.BFLOAT16.is_floating
+        assert not DType.INT64.is_floating
+        assert not DType.BOOL.is_floating
+
+    def test_str_returns_type_name(self):
+        assert str(DType.FLOAT32) == "float32"
+        assert str(DType.INT8) == "int8"
+
+
+class TestDTypeFromName:
+    def test_round_trip_all_dtypes(self):
+        for dtype in DType:
+            assert DType.from_name(dtype.type_name) is dtype
+
+    def test_parses_tensor_wrapped_name(self):
+        assert DType.from_name("Tensor(float32)") is DType.FLOAT32
+        assert DType.from_name("Tensor(int64)") is DType.INT64
+
+    def test_strips_whitespace(self):
+        assert DType.from_name("  float16 ") is DType.FLOAT16
+
+    def test_unknown_name_raises(self):
+        with pytest.raises(ValueError, match="unknown dtype"):
+            DType.from_name("complex128")

@@ -1,0 +1,191 @@
+"""Tests for the ET analyzer, builder and similarity comparator."""
+
+import pytest
+
+from repro.et.analyzer import (
+    CATEGORY_ATEN,
+    CATEGORY_COMMS,
+    CATEGORY_CUSTOM,
+    CATEGORY_FUSED,
+    ETAnalyzer,
+    TraceDatabase,
+    categorize_node,
+    iter_top_level_operators,
+)
+from repro.et.builder import ETBuilder
+from repro.et.comparator import SimilarityReport, TraceComparator, relative_error
+from repro.et.schema import ETNode, ROOT_NODE_ID
+from repro.et.trace import ExecutionTrace
+
+
+def node(name, node_id, parent, schema="dummy::op(Tensor x) -> Tensor"):
+    return ETNode(name=name, id=node_id, parent=parent, op_schema=schema)
+
+
+class TestCategorization:
+    def test_namespace_mapping(self):
+        assert categorize_node(node("aten::mm", 2, 1)) == CATEGORY_ATEN
+        assert categorize_node(node("c10d::all_reduce", 2, 1)) == CATEGORY_COMMS
+        assert categorize_node(node("fused::TensorExprGroup", 2, 1)) == CATEGORY_FUSED
+        assert categorize_node(node("fbgemm::lookup", 2, 1)) == CATEGORY_CUSTOM
+        assert categorize_node(node("fairseq::lstm_layer", 2, 1)) == CATEGORY_CUSTOM
+
+
+class TestTopLevelSelection:
+    def test_children_of_operators_skipped(self, captured_runtime_pieces):
+        trace = captured_runtime_pieces["trace"]
+        selected_names = [n.name for n in iter_top_level_operators(trace)]
+        assert "aten::linear" in selected_names
+        # aten::addmm only ever appears as a child of aten::linear here.
+        assert "aten::addmm" not in selected_names
+
+    def test_annotation_children_are_visited(self, captured_runtime_pieces):
+        trace = captured_runtime_pieces["trace"]
+        selected_names = [n.name for n in iter_top_level_operators(trace)]
+        # Ops under "## forward ##" and under autograd wrappers are reachable.
+        assert "aten::mm" in selected_names or "aten::linear" in selected_names
+        assert any(name.startswith("aten::") for name in selected_names)
+
+    def test_annotations_themselves_not_selected(self, captured_runtime_pieces):
+        trace = captured_runtime_pieces["trace"]
+        assert all(n.is_operator for n in iter_top_level_operators(trace))
+
+
+class TestCategoryBreakdown:
+    def test_counts_only_without_profiler(self, captured_runtime_pieces):
+        breakdown = ETAnalyzer(captured_runtime_pieces["trace"]).category_breakdown()
+        assert breakdown.counts[CATEGORY_ATEN] > 0
+        assert breakdown.cpu_time_us == {}
+
+    def test_full_breakdown_with_profiler(self, captured_runtime_pieces):
+        analyzer = ETAnalyzer(
+            captured_runtime_pieces["trace"], captured_runtime_pieces["profiler_trace"]
+        )
+        breakdown = analyzer.category_breakdown()
+        assert breakdown.cpu_time_us[CATEGORY_ATEN] > 0
+        assert breakdown.gpu_exposed_time_us[CATEGORY_ATEN] > 0
+        fractions = breakdown.count_fractions()
+        assert fractions[CATEGORY_ATEN] == pytest.approx(1.0)
+        assert sum(fractions.values()) == pytest.approx(1.0)
+
+    def test_operator_counts(self, captured_runtime_pieces):
+        counts = ETAnalyzer(captured_runtime_pieces["trace"]).operator_counts()
+        assert counts["aten::linear"] == 2
+
+    def test_operator_gpu_time(self, captured_runtime_pieces):
+        analyzer = ETAnalyzer(
+            captured_runtime_pieces["trace"], captured_runtime_pieces["profiler_trace"]
+        )
+        gpu_time = analyzer.operator_gpu_time()
+        assert gpu_time["aten::linear"] > 0
+
+
+class TestTraceDatabase:
+    def test_select_top_by_population(self, captured_runtime_pieces):
+        database = TraceDatabase()
+        trace = captured_runtime_pieces["trace"]
+        database.add("rare", trace, population=1)
+        database.add("popular", trace, population=100)
+        database.add("medium", trace, population=10)
+        top = database.select_top(2)
+        assert [entry.name for entry in top] == ["popular", "medium"]
+        assert len(database) == 3
+
+    def test_select_top_by_gpu_time(self, captured_runtime_pieces):
+        database = TraceDatabase()
+        database.add("with-profile", captured_runtime_pieces["trace"], population=1,
+                     profiler_trace=captured_runtime_pieces["profiler_trace"])
+        database.add("without-profile", captured_runtime_pieces["trace"], population=1)
+        top = database.select_top(1, key="gpu_time")
+        assert top[0].name == "with-profile"
+
+    def test_unknown_key_rejected(self, captured_runtime_pieces):
+        database = TraceDatabase()
+        database.add("a", captured_runtime_pieces["trace"])
+        with pytest.raises(ValueError):
+            database.select_top(1, key="magic")
+
+
+class TestETBuilder:
+    def test_validate_clean_trace(self, captured_runtime_pieces):
+        assert ETBuilder.validate(captured_runtime_pieces["trace"]) == []
+
+    def test_validate_detects_missing_parent_and_duplicates(self):
+        trace = ExecutionTrace()
+        trace.add_node(ETNode(name="[root]", id=ROOT_NODE_ID, parent=0))
+        trace.add_node(node("aten::mm", 5, 99))
+        trace.add_node(node("aten::mm", 5, ROOT_NODE_ID))
+        issues = {issue.kind for issue in ETBuilder.validate(trace)}
+        assert "missing_parent" in issues
+        assert "duplicate_id" in issues
+
+    def test_preprocess_reparents_orphans(self):
+        trace = ExecutionTrace()
+        trace.add_node(ETNode(name="[root]", id=ROOT_NODE_ID, parent=0))
+        trace.add_node(node("aten::mm", 5, 99))
+        cleaned = ETBuilder.preprocess(trace)
+        assert cleaned.get(5).parent == ROOT_NODE_ID
+        assert ETBuilder.validate(cleaned) == []
+
+    def test_extract_subtrace(self, captured_runtime_pieces):
+        sub = ETBuilder.extract_subtrace(captured_runtime_pieces["trace"], "## forward ##")
+        names = [n.name for n in sub.sorted_nodes()]
+        assert any("forward" in name for name in names)
+        assert all("autograd" not in name for name in names)
+        assert sub.metadata["subtrace_label"] == "## forward ##"
+
+    def test_extract_missing_label_raises(self, captured_runtime_pieces):
+        with pytest.raises(KeyError):
+            ETBuilder.extract_subtrace(captured_runtime_pieces["trace"], "## does not exist ##")
+
+    def test_filter_by_category(self, captured_runtime_pieces):
+        filtered = ETBuilder.filter_by_category(captured_runtime_pieces["trace"], [CATEGORY_ATEN])
+        assert all(
+            categorize_node(n) == CATEGORY_ATEN
+            for n in filtered.operators()
+        )
+
+    def test_compose_renumbers_ids(self, captured_runtime_pieces):
+        trace = captured_runtime_pieces["trace"]
+        composed = ETBuilder.compose([trace, trace], name="double")
+        assert len(composed) == 2 * (len(trace) - 1) + 1
+        ids = [n.id for n in composed.sorted_nodes()]
+        assert len(set(ids)) == len(ids)
+        assert ETBuilder.validate(composed) == []
+
+    def test_composed_trace_has_twice_the_operators(self, captured_runtime_pieces):
+        trace = captured_runtime_pieces["trace"]
+        composed = ETBuilder.compose([trace, trace])
+        assert len(iter_top_level_operators(composed)) == 2 * len(iter_top_level_operators(trace))
+
+
+class TestComparator:
+    def test_relative_error(self):
+        assert relative_error(100.0, 110.0) == pytest.approx(0.10)
+        assert relative_error(0.0, 0.0) == 0.0
+        assert relative_error(0.0, 5.0) == float("inf")
+
+    def test_compare_metrics(self):
+        comparator = TraceComparator()
+        report = comparator.compare_metrics(
+            {"execution_time_ms": 10.0, "sm_utilization_pct": 80.0},
+            {"execution_time_ms": 10.5, "sm_utilization_pct": 76.0},
+        )
+        assert report.execution_time_error == pytest.approx(0.05)
+        assert report.metric_errors["sm_utilization_pct"] == pytest.approx(0.05)
+        assert report.passes(threshold=0.10)
+        assert not report.passes(threshold=0.01)
+
+    def test_similarity_score_bounds(self):
+        perfect = SimilarityReport(execution_time_error=0.0)
+        bad = SimilarityReport(execution_time_error=1.5, metric_errors={"x": 2.0})
+        assert perfect.similarity_score() == pytest.approx(1.0)
+        assert 0.0 <= bad.similarity_score() < 0.5
+
+    def test_compare_operator_times_top_k(self):
+        comparator = TraceComparator()
+        original = {"a": 100.0, "b": 50.0, "c": 1.0}
+        replay = {"a": 95.0, "b": 55.0, "c": 100.0}
+        report = comparator.compare_operator_times(original, replay, top_k=2)
+        assert set(report.per_operator_errors) == {"a", "b"}
+        assert report.mean_operator_error < 0.15

@@ -1,0 +1,153 @@
+"""Tests for the execution-trace node schema and trace container."""
+
+import pytest
+
+from repro.et.schema import ETNode, ROOT_NODE_ID, decode_tensor_ref, encode_arg, is_tensor_type
+from repro.et.trace import ExecutionTrace
+from repro.torchsim.tensor import Tensor
+from repro.torchsim.dtypes import DType
+
+
+class TestEncodeArg:
+    def test_tensor_encoded_as_identity_tuple(self):
+        tensor = Tensor.empty((4, 8), dtype=DType.FLOAT32)
+        value, shape, type_str = encode_arg(tensor)
+        assert shape == [4, 8]
+        assert type_str == "Tensor(float32)"
+        assert decode_tensor_ref(value) == tensor.id
+
+    def test_tensor_list_encoded_as_generic_list(self):
+        tensors = [Tensor.empty((2,)), Tensor.empty((3,))]
+        value, shape, type_str = encode_arg(tensors)
+        assert type_str.startswith("GenericList[Tensor(")
+        assert shape == [[2], [3]]
+        assert len(value) == 2
+
+    def test_scalars(self):
+        assert encode_arg(5) == (5, [], "Int")
+        assert encode_arg(2.5) == (2.5, [], "Double")
+        assert encode_arg(True) == (True, [], "Bool")
+        assert encode_arg("sum") == ("sum", [], "String")
+        assert encode_arg(None) == (None, [], "None")
+
+    def test_bool_not_confused_with_int(self):
+        _, _, type_str = encode_arg(False)
+        assert type_str == "Bool"
+
+    def test_int_list(self):
+        value, shape, type_str = encode_arg([1, 2, 3])
+        assert value == [1, 2, 3]
+        assert type_str == "GenericList[Int]"
+
+    def test_dict_preserved(self):
+        description = {"pg_id": 0, "ranks": [0, 1], "backend": "nccl"}
+        value, _, type_str = encode_arg(description)
+        assert value == description
+        assert type_str == "Dict"
+
+    def test_decode_rejects_non_refs(self):
+        assert decode_tensor_ref([1, 2, 3]) is None
+        assert decode_tensor_ref("not a ref") is None
+        assert decode_tensor_ref(None) is None
+
+    def test_is_tensor_type(self):
+        assert is_tensor_type("Tensor(float32)")
+        assert not is_tensor_type("Int")
+        assert not is_tensor_type("GenericList[Tensor(float32)]")
+
+
+class TestETNode:
+    def test_namespace(self):
+        assert ETNode(name="aten::add", id=2, parent=1).namespace == "aten"
+        assert ETNode(name="## forward ##", id=2, parent=1).namespace == ""
+
+    def test_is_operator_requires_schema(self):
+        op = ETNode(name="aten::add", id=2, parent=1, op_schema="aten::add(Tensor a) -> Tensor")
+        annotation = ETNode(name="## forward ##", id=3, parent=1)
+        assert op.is_operator
+        assert not annotation.is_operator
+
+    def test_tensor_refs_extracted(self):
+        tensor = Tensor.empty((4,))
+        value, shape, type_str = encode_arg(tensor)
+        node = ETNode(
+            name="aten::relu", id=2, parent=1, op_schema="aten::relu(Tensor self) -> Tensor",
+            inputs=[value], input_shapes=[shape], input_types=[type_str],
+            outputs=[value], output_shapes=[shape], output_types=[type_str],
+        )
+        assert node.input_tensor_refs() == [tensor.id]
+        assert node.output_tensor_refs() == [tensor.id]
+
+    def test_round_trip_dict(self):
+        node = ETNode(
+            name="aten::add", id=7, parent=1, op_schema="aten::add(Tensor a, Tensor b) -> Tensor",
+            inputs=[1], input_shapes=[[]], input_types=["Int"], attrs={"tid": "main"},
+        )
+        assert ETNode.from_dict(node.to_dict()) == node
+
+
+def build_sample_trace():
+    trace = ExecutionTrace(metadata={"workload": "sample"})
+    trace.add_node(ETNode(name="[root]", id=ROOT_NODE_ID, parent=0))
+    trace.add_node(ETNode(name="aten::linear", id=2, parent=ROOT_NODE_ID,
+                          op_schema="aten::linear(Tensor a, Tensor b) -> Tensor"))
+    trace.add_node(ETNode(name="aten::t", id=3, parent=2, op_schema="aten::t(Tensor a) -> Tensor"))
+    trace.add_node(ETNode(name="aten::addmm", id=4, parent=2,
+                          op_schema="aten::addmm(Tensor a, Tensor b, Tensor c) -> Tensor"))
+    trace.add_node(ETNode(name="## forward ##", id=5, parent=ROOT_NODE_ID))
+    trace.add_node(ETNode(name="aten::relu", id=6, parent=5, op_schema="aten::relu(Tensor a) -> Tensor"))
+    return trace
+
+
+class TestExecutionTrace:
+    def test_sorted_nodes_in_execution_order(self):
+        trace = build_sample_trace()
+        assert [node.id for node in trace.sorted_nodes()] == [1, 2, 3, 4, 5, 6]
+
+    def test_children_and_descendants(self):
+        trace = build_sample_trace()
+        assert [c.id for c in trace.children(2)] == [3, 4]
+        assert [d.id for d in trace.descendants(ROOT_NODE_ID)] == [2, 3, 4, 5, 6]
+
+    def test_get_and_has(self):
+        trace = build_sample_trace()
+        assert trace.get(4).name == "aten::addmm"
+        assert trace.has(4)
+        assert not trace.has(99)
+        with pytest.raises(KeyError):
+            trace.get(99)
+
+    def test_root_nodes(self):
+        trace = build_sample_trace()
+        assert [n.id for n in trace.root_nodes()] == [2, 5]
+
+    def test_operators_excludes_annotations(self):
+        trace = build_sample_trace()
+        names = {node.name for node in trace.operators()}
+        assert "## forward ##" not in names
+        assert "aten::linear" in names
+
+    def test_find_by_label(self):
+        trace = build_sample_trace()
+        assert len(trace.find_by_label("forward")) == 1
+
+    def test_json_round_trip(self):
+        trace = build_sample_trace()
+        restored = ExecutionTrace.from_json(trace.to_json())
+        assert len(restored) == len(trace)
+        assert restored.metadata == trace.metadata
+        assert restored.get(4).name == "aten::addmm"
+
+    def test_save_and_load(self, tmp_path):
+        trace = build_sample_trace()
+        path = trace.save(tmp_path / "trace.json")
+        assert path.exists()
+        assert len(ExecutionTrace.load(path)) == len(trace)
+
+    def test_index_refreshes_after_adding_nodes(self):
+        trace = build_sample_trace()
+        assert trace.has(6)
+        trace.add_node(ETNode(name="aten::sum", id=7, parent=ROOT_NODE_ID,
+                              op_schema="aten::sum(Tensor a) -> Tensor"))
+        assert trace.has(7)
+        assert [c.id for c in trace.children(ROOT_NODE_ID)] == [2, 5, 7]

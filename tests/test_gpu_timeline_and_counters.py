@@ -1,0 +1,169 @@
+"""Tests for the GPU timeline simulator and the derived counters."""
+
+import pytest
+
+from repro.hardware.counters import (
+    aggregate_kernel_counters,
+    compute_kernel_counters,
+    compute_system_metrics,
+)
+from repro.hardware.gpu import GpuTimeline
+from repro.hardware.specs import A100
+from repro.torchsim.kernel import KernelDesc, KernelKind, KernelLaunch, OpCategory
+
+
+def launch(stream=7, ts=0.0, dur=10.0, category=OpCategory.ATEN, occupancy=0.8,
+           bytes_total=1e6, kind=KernelKind.GEMM, flops=1e8, locality=0.7, name="k"):
+    desc = KernelDesc(
+        name=name, kind=kind, flops=flops,
+        bytes_read=bytes_total / 2, bytes_written=bytes_total / 2,
+        occupancy=occupancy, locality=locality,
+    )
+    return KernelLaunch(
+        desc=desc, stream_id=stream, launch_ts=ts, duration=dur,
+        op_node_id=0, op_name="op", category=category,
+    )
+
+
+class TestTimelineResolution:
+    def test_same_stream_serializes(self):
+        timeline = GpuTimeline()
+        first = timeline.add_launch(launch(ts=0.0, dur=10.0))
+        second = timeline.add_launch(launch(ts=2.0, dur=10.0))
+        assert first.start == 0.0 and first.end == 10.0
+        assert second.start == 10.0 and second.end == 20.0
+
+    def test_kernel_waits_for_launch_timestamp(self):
+        timeline = GpuTimeline()
+        resolved = timeline.add_launch(launch(ts=50.0, dur=5.0))
+        assert resolved.start == 50.0
+
+    def test_different_streams_overlap(self):
+        timeline = GpuTimeline()
+        first = timeline.add_launch(launch(stream=7, ts=0.0, dur=10.0))
+        second = timeline.add_launch(launch(stream=20, ts=0.0, dur=10.0))
+        assert second.start == 0.0
+        assert first.end == second.end == 10.0
+
+    def test_device_ready_time_is_max_over_streams(self):
+        timeline = GpuTimeline()
+        timeline.add_launch(launch(stream=7, ts=0.0, dur=10.0))
+        timeline.add_launch(launch(stream=20, ts=0.0, dur=30.0))
+        assert timeline.device_ready_time() == 30.0
+        assert timeline.stream_ready_time(7) == 10.0
+
+    def test_empty_timeline(self):
+        timeline = GpuTimeline()
+        assert timeline.device_ready_time() == 0.0
+        assert timeline.stats().kernel_count == 0
+
+
+class TestTimelineStats:
+    def test_busy_time_merges_overlaps(self):
+        timeline = GpuTimeline()
+        timeline.add_launch(launch(stream=7, ts=0.0, dur=10.0))
+        timeline.add_launch(launch(stream=20, ts=5.0, dur=10.0))
+        stats = timeline.stats()
+        assert stats.busy_time_us == pytest.approx(15.0)
+        assert stats.total_kernel_time_us == pytest.approx(20.0)
+
+    def test_exposed_time_per_category(self):
+        timeline = GpuTimeline()
+        timeline.add_launch(launch(stream=7, ts=0.0, dur=10.0, category=OpCategory.ATEN))
+        # The collective overlaps the compute kernel for half its duration.
+        timeline.add_launch(launch(stream=20, ts=5.0, dur=10.0, category=OpCategory.COMM,
+                                   kind=KernelKind.COLLECTIVE))
+        stats = timeline.stats()
+        assert stats.category_exposed_time_us["comms"] == pytest.approx(5.0)
+        assert stats.category_exposed_time_us["aten"] == pytest.approx(5.0)
+
+    def test_fully_hidden_category_has_zero_exposed_time(self):
+        timeline = GpuTimeline()
+        timeline.add_launch(launch(stream=7, ts=0.0, dur=20.0, category=OpCategory.ATEN))
+        timeline.add_launch(launch(stream=20, ts=5.0, dur=5.0, category=OpCategory.COMM))
+        stats = timeline.stats()
+        assert stats.category_exposed_time_us["comms"] == pytest.approx(0.0)
+
+    def test_sm_utilization_weighted_by_occupancy(self):
+        timeline = GpuTimeline()
+        timeline.add_launch(launch(ts=0.0, dur=10.0, occupancy=0.5))
+        stats = timeline.stats(window_start=0.0, window_end=10.0)
+        assert stats.sm_utilization == pytest.approx(0.5)
+
+    def test_idle_gaps_lower_utilization(self):
+        timeline = GpuTimeline()
+        timeline.add_launch(launch(ts=0.0, dur=10.0, occupancy=1.0))
+        stats = timeline.stats(window_start=0.0, window_end=20.0)
+        assert stats.sm_utilization == pytest.approx(0.5)
+        assert stats.busy_fraction == pytest.approx(0.5)
+
+    def test_hbm_bandwidth_from_bytes(self):
+        timeline = GpuTimeline()
+        timeline.add_launch(launch(ts=0.0, dur=10.0, bytes_total=1e6))
+        stats = timeline.stats(window_start=0.0, window_end=10.0)
+        # 1 MB over 10 us = 100 GB/s
+        assert stats.hbm_bandwidth_gbps == pytest.approx(100.0)
+
+    def test_window_filters_out_earlier_kernels(self):
+        timeline = GpuTimeline()
+        timeline.add_launch(launch(ts=0.0, dur=10.0))
+        timeline.add_launch(launch(ts=100.0, dur=10.0))
+        stats = timeline.stats(window_start=50.0)
+        assert stats.kernel_count == 1
+
+    def test_category_counts(self):
+        timeline = GpuTimeline()
+        timeline.add_launch(launch(category=OpCategory.ATEN))
+        timeline.add_launch(launch(ts=20.0, category=OpCategory.CUSTOM))
+        stats = timeline.stats()
+        assert stats.category_count["aten"] == 1
+        assert stats.category_count["custom"] == 1
+
+
+class TestCounters:
+    def test_compute_bound_kernel_has_higher_ipc(self):
+        compute_heavy = KernelDesc(name="a", kind=KernelKind.GEMM, flops=1e12, bytes_read=1e6, bytes_written=1e6)
+        memory_heavy = KernelDesc(name="b", kind=KernelKind.GEMM, flops=1e6, bytes_read=1e9, bytes_written=1e9)
+        assert compute_kernel_counters(compute_heavy, A100).ipc > compute_kernel_counters(memory_heavy, A100).ipc
+
+    def test_locality_drives_hit_rates(self):
+        local = KernelDesc(name="a", kind=KernelKind.ELEMENTWISE, locality=0.9, bytes_read=1e6)
+        remote = KernelDesc(name="b", kind=KernelKind.EMBEDDING, locality=0.1, bytes_read=1e6)
+        local_counters = compute_kernel_counters(local, A100)
+        remote_counters = compute_kernel_counters(remote, A100)
+        assert local_counters.l1_hit_rate > remote_counters.l1_hit_rate
+        assert local_counters.l2_hit_rate > remote_counters.l2_hit_rate
+
+    def test_l2_hit_rate_not_below_l1(self):
+        desc = KernelDesc(name="a", kind=KernelKind.GEMM, locality=0.5, bytes_read=1e6)
+        counters = compute_kernel_counters(desc, A100)
+        assert counters.l2_hit_rate >= counters.l1_hit_rate
+
+    def test_hit_rates_bounded(self):
+        for locality in (0.0, 0.5, 1.0):
+            desc = KernelDesc(name="a", kind=KernelKind.GEMM, locality=locality, bytes_read=1e6)
+            counters = compute_kernel_counters(desc, A100)
+            assert 0.0 <= counters.l1_hit_rate <= 1.0
+            assert 0.0 <= counters.l2_hit_rate <= 1.0
+            assert 0.0 <= counters.sm_throughput <= 1.0
+
+    def test_aggregate_weights_by_duration(self):
+        fast = compute_kernel_counters(KernelDesc(name="a", kind=KernelKind.GEMM, flops=1e12, bytes_read=1e6), A100, duration_us=1.0)
+        slow = compute_kernel_counters(KernelDesc(name="b", kind=KernelKind.EMBEDDING, flops=1e6, bytes_read=1e9), A100, duration_us=99.0)
+        overall = aggregate_kernel_counters([fast, slow])
+        assert abs(overall.ipc - slow.ipc) < abs(overall.ipc - fast.ipc)
+
+    def test_aggregate_empty_returns_none(self):
+        assert aggregate_kernel_counters([]) is None
+
+    def test_system_metrics_fields(self):
+        timeline = GpuTimeline()
+        timeline.add_launch(launch(ts=0.0, dur=100.0, occupancy=0.9, bytes_total=1e8))
+        metrics = compute_system_metrics(timeline.stats(), A100)
+        assert metrics.execution_time_ms > 0
+        assert 0 < metrics.sm_utilization_pct <= 100
+        assert metrics.hbm_bandwidth_gbps > 0
+        assert A100.idle_power_w <= metrics.gpu_power_w <= A100.tdp_w
+        assert set(metrics.as_dict()) == {
+            "execution_time_ms", "sm_utilization_pct", "hbm_bandwidth_gbps", "gpu_power_w",
+        }

@@ -1,0 +1,153 @@
+"""Tests for device specs, the roofline cost model and the power model."""
+
+import pytest
+
+from repro.hardware.costmodel import KernelCostModel
+from repro.hardware.power import PowerModel
+from repro.hardware.specs import A100, V100, XEON_CPU, NEW_PLATFORM, DeviceSpec, get_device_spec, register_device_spec
+from repro.torchsim.kernel import KernelDesc, KernelKind
+
+
+def gemm(flops=1e10, bytes_total=1e8, dtype="float32"):
+    return KernelDesc(
+        name="gemm", kind=KernelKind.GEMM, flops=flops,
+        bytes_read=bytes_total * 0.75, bytes_written=bytes_total * 0.25,
+        occupancy=1.0, locality=0.85, metadata={"dtype": dtype},
+    )
+
+
+def elementwise(numel=1e7):
+    return KernelDesc(
+        name="ew", kind=KernelKind.ELEMENTWISE, flops=numel,
+        bytes_read=numel * 4, bytes_written=numel * 4, occupancy=1.0, locality=0.75,
+    )
+
+
+class TestDeviceSpecs:
+    def test_lookup_by_name_case_insensitive(self):
+        assert get_device_spec("a100") is A100
+        assert get_device_spec("V100") is V100
+        assert get_device_spec("cpu") is XEON_CPU
+
+    def test_unknown_spec_raises_with_known_list(self):
+        with pytest.raises(KeyError, match="known specs"):
+            get_device_spec("H999")
+
+    def test_register_custom_spec(self):
+        custom = A100.clone(name="TestChip", peak_fp32_tflops=100.0)
+        register_device_spec(custom)
+        assert get_device_spec("testchip").peak_fp32_tflops == 100.0
+
+    def test_a100_faster_than_v100(self):
+        assert A100.peak_fp32_tflops > V100.peak_fp32_tflops
+        assert A100.mem_bandwidth_gbps > V100.mem_bandwidth_gbps
+
+    def test_new_platform_faster_than_a100(self):
+        assert NEW_PLATFORM.peak_fp32_tflops > A100.peak_fp32_tflops
+        assert NEW_PLATFORM.mem_bandwidth_gbps > A100.mem_bandwidth_gbps
+
+    def test_unit_conversions(self):
+        assert A100.peak_fp32_flops == pytest.approx(19.5e12)
+        assert A100.mem_bandwidth_bps == pytest.approx(1555e9)
+
+    def test_clone_preserves_other_fields(self):
+        clone = A100.clone(tdp_w=500.0)
+        assert clone.tdp_w == 500.0
+        assert clone.num_sms == A100.num_sms
+
+
+class TestKernelCostModel:
+    def test_compute_bound_kernel_ignores_bandwidth(self):
+        model = KernelCostModel(A100)
+        desc = gemm(flops=1e12, bytes_total=1e6)
+        assert model.dominant_roof(desc) == "compute"
+        assert model.duration_us(desc) == pytest.approx(model.compute_time_us(desc) + 0.5, rel=0.01)
+
+    def test_memory_bound_kernel(self):
+        model = KernelCostModel(A100)
+        desc = elementwise(1e8)
+        assert model.dominant_roof(desc) == "memory"
+
+    def test_duration_has_minimum(self):
+        model = KernelCostModel(A100)
+        tiny = KernelDesc(name="tiny", kind=KernelKind.ELEMENTWISE, flops=10, bytes_read=10, bytes_written=10)
+        assert model.duration_us(tiny) >= 1.5
+
+    def test_faster_device_shorter_duration(self):
+        a100 = KernelCostModel(A100)
+        cpu = KernelCostModel(XEON_CPU)
+        desc = gemm()
+        assert a100.duration_us(desc) < cpu.duration_us(desc)
+
+    def test_fp16_faster_than_fp32_on_a100(self):
+        model = KernelCostModel(A100)
+        assert model.duration_us(gemm(dtype="float16")) < model.duration_us(gemm(dtype="float32"))
+
+    def test_clock_scale_slows_compute(self):
+        full = KernelCostModel(A100, clock_scale=1.0)
+        throttled = KernelCostModel(A100, clock_scale=0.5)
+        desc = gemm(flops=1e12, bytes_total=1e6)
+        assert throttled.duration_us(desc) > full.duration_us(desc)
+
+    def test_flops_mode_ignores_memory_roof(self):
+        roofline = KernelCostModel(A100, mode="roofline")
+        flops_only = KernelCostModel(A100, mode="flops")
+        desc = elementwise(1e8)
+        assert flops_only.duration_us(desc) < roofline.duration_us(desc)
+
+    def test_invalid_mode_rejected(self):
+        with pytest.raises(ValueError):
+            KernelCostModel(A100, mode="magic")
+
+    def test_invalid_clock_scale_rejected(self):
+        with pytest.raises(ValueError):
+            KernelCostModel(A100, clock_scale=0.0)
+
+    def test_low_locality_slows_memory_bound_kernel(self):
+        model = KernelCostModel(A100)
+        friendly = elementwise(1e8)
+        hostile = elementwise(1e8)
+        hostile.locality = 0.0
+        assert model.duration_us(hostile) > model.duration_us(friendly)
+
+    def test_with_clock_scale_returns_new_model(self):
+        model = KernelCostModel(A100)
+        scaled = model.with_clock_scale(0.7)
+        assert scaled.clock_scale == pytest.approx(0.7)
+        assert model.clock_scale == 1.0
+
+
+class TestPowerModel:
+    def test_no_limit_means_full_clock(self):
+        assert PowerModel(A100).clock_scale == pytest.approx(1.0)
+
+    def test_lower_limit_lower_clock(self):
+        low = PowerModel(A100, power_limit_w=150.0)
+        high = PowerModel(A100, power_limit_w=350.0)
+        assert low.clock_scale < high.clock_scale <= 1.0
+
+    def test_limit_out_of_range_rejected(self):
+        with pytest.raises(ValueError):
+            PowerModel(A100, power_limit_w=50.0)
+        with pytest.raises(ValueError):
+            PowerModel(A100, power_limit_w=1000.0)
+
+    def test_average_power_capped_at_limit(self):
+        model = PowerModel(A100, power_limit_w=200.0)
+        assert model.average_power_w(busy_fraction=1.0, utilization=1.0) <= 200.0
+
+    def test_idle_device_draws_idle_power(self):
+        model = PowerModel(A100)
+        assert model.average_power_w(0.0, 0.0) == pytest.approx(A100.idle_power_w)
+
+    def test_busier_device_draws_more_power(self):
+        model = PowerModel(A100)
+        assert model.average_power_w(1.0, 0.9) > model.average_power_w(0.5, 0.9)
+
+    def test_energy_scales_with_time(self):
+        model = PowerModel(A100)
+        assert model.energy_j(2e6, 1.0, 0.8) == pytest.approx(2 * model.energy_j(1e6, 1.0, 0.8))
+
+    def test_energy_efficiency_positive(self):
+        model = PowerModel(A100, power_limit_w=250.0)
+        assert model.energy_efficiency(1.0, 1e4, 0.9, 0.8) > 0.0

@@ -1,0 +1,142 @@
+"""Tests for the ExecutionGraphObserver and the profiler trace."""
+
+import pytest
+
+from repro.et.schema import ROOT_NODE_ID
+from repro.et.trace import ExecutionTrace
+from repro.torchsim import Runtime, Tensor, ExecutionGraphObserver, Profiler
+from repro.torchsim.profiler import ProfilerTrace, TraceEvent
+from repro.torchsim.stream import COMM_STREAM, DEFAULT_COMPUTE_STREAM
+
+
+class TestExecutionGraphObserver:
+    def test_start_creates_root_node(self):
+        observer = ExecutionGraphObserver()
+        observer.register_callback(None)
+        observer.start()
+        assert observer.trace is not None
+        assert observer.trace.get(ROOT_NODE_ID).parent == 0
+
+    def test_capture_of_single_iteration(self, captured_runtime_pieces):
+        trace = captured_runtime_pieces["trace"]
+        names = [node.name for node in trace.operators()]
+        assert "aten::linear" in names
+        assert "aten::mse_loss" in names
+        assert any(name.startswith("aten::_foreach") for name in names)
+
+    def test_parent_child_nesting_recorded(self, captured_runtime_pieces):
+        trace = captured_runtime_pieces["trace"]
+        linear_nodes = trace.find_by_name("aten::linear")
+        assert linear_nodes
+        child_names = {child.name for child in trace.children(linear_nodes[0].id)}
+        assert "aten::t" in child_names
+        assert "aten::addmm" in child_names
+
+    def test_node_ids_increase_in_execution_order(self, captured_runtime_pieces):
+        trace = captured_runtime_pieces["trace"]
+        ids = [node.id for node in trace.sorted_nodes()]
+        assert ids == sorted(ids)
+        assert len(set(ids)) == len(ids)
+
+    def test_table2_schema_fields_present(self, captured_runtime_pieces):
+        node = captured_runtime_pieces["trace"].find_by_name("aten::addmm")[0]
+        data = node.to_dict()
+        for key in ("name", "id", "parent", "op_schema", "inputs", "input_shapes",
+                    "input_types", "outputs", "output_shapes", "output_types"):
+            assert key in data
+        assert len(node.inputs) == len(node.input_shapes) == len(node.input_types)
+
+    def test_tensor_args_have_shapes_nontensor_args_empty(self, captured_runtime_pieces):
+        trace = captured_runtime_pieces["trace"]
+        node = trace.find_by_name("aten::mse_loss")[0]
+        assert node.input_shapes[0]  # tensor input has a shape
+        dropout_like = trace.find_by_name("aten::addmm")[0]
+        assert dropout_like.op_schema.startswith("aten::addmm")
+
+    def test_stop_writes_json_file(self, tmp_path):
+        rt = Runtime("A100")
+        observer = rt.attach_observer(ExecutionGraphObserver())
+        path = tmp_path / "et.json"
+        observer.register_callback(path)
+        observer.start()
+        rt.call("aten::relu", Tensor.empty((8,)))
+        observer.stop()
+        assert path.exists()
+        assert len(ExecutionTrace.load(path)) >= 2
+
+    def test_autograd_wrappers_have_no_schema(self, captured_runtime_pieces):
+        trace = captured_runtime_pieces["trace"]
+        wrappers = trace.find_by_label("autograd::engine::evaluate_function")
+        assert wrappers
+        assert all(not node.is_operator for node in wrappers)
+
+    def test_backward_ops_on_autograd_thread(self, captured_runtime_pieces):
+        trace = captured_runtime_pieces["trace"]
+        wrappers = trace.find_by_label("autograd::engine::evaluate_function")
+        assert all(node.attrs.get("tid") == "autograd" for node in wrappers)
+
+
+class TestProfilerTrace:
+    def test_cpu_ops_and_kernels_separated(self, captured_runtime_pieces):
+        ptrace = captured_runtime_pieces["profiler_trace"]
+        assert ptrace.cpu_ops()
+        assert ptrace.kernels()
+        assert ptrace.annotations()
+
+    def test_two_cpu_threads_present(self, captured_runtime_pieces):
+        ptrace = captured_runtime_pieces["profiler_trace"]
+        assert set(ptrace.threads()) == {"main", "autograd"}
+
+    def test_kernels_linked_to_ops(self, captured_runtime_pieces):
+        ptrace = captured_runtime_pieces["profiler_trace"]
+        op_ids = {event.op_node_id for event in ptrace.cpu_ops()}
+        trace = captured_runtime_pieces["trace"]
+        for kernel in ptrace.kernels():
+            # Every kernel's launching op is either a recorded cpu op or a
+            # child of one (nested composite operators).
+            assert kernel.op_node_id in op_ids or trace.has(kernel.op_node_id)
+
+    def test_op_stream_map(self, captured_runtime_pieces):
+        ptrace = captured_runtime_pieces["profiler_trace"]
+        stream_map = ptrace.op_stream_map()
+        assert stream_map
+        assert all(DEFAULT_COMPUTE_STREAM in streams for streams in stream_map.values())
+
+    def test_window_and_wall_time(self, captured_runtime_pieces):
+        ptrace = captured_runtime_pieces["profiler_trace"]
+        start, end = ptrace.window()
+        assert end > start
+        assert ptrace.wall_time_us() == pytest.approx(end - start)
+
+    def test_total_cpu_time_excludes_nested_spans(self):
+        trace = ProfilerTrace()
+        trace.add(TraceEvent(name="parent", cat="cpu_op", ts=0.0, dur=10.0, tid="main", op_node_id=1))
+        trace.add(TraceEvent(name="child", cat="cpu_op", ts=2.0, dur=3.0, tid="main", op_node_id=2))
+        assert trace.total_cpu_time_us() == pytest.approx(10.0)
+
+    def test_serialization_round_trip(self, captured_runtime_pieces, tmp_path):
+        ptrace = captured_runtime_pieces["profiler_trace"]
+        path = ptrace.save(tmp_path / "profiler.json")
+        restored = ProfilerTrace.load(path)
+        assert len(restored.events) == len(ptrace.events)
+        assert restored.kernels()[0].stream == ptrace.kernels()[0].stream
+
+    def test_chrome_trace_export(self, captured_runtime_pieces):
+        chrome = captured_runtime_pieces["profiler_trace"].to_chrome_trace()
+        assert "traceEvents" in chrome
+        assert all(event["ph"] == "X" for event in chrome["traceEvents"])
+
+    def test_profiler_respects_activity_filter(self):
+        rt = Runtime("A100")
+        profiler = rt.attach_profiler(Profiler(activities=["cpu"]))
+        with profiler:
+            rt.call("aten::relu", Tensor.empty((1024,)))
+        assert profiler.trace.cpu_ops()
+        assert not profiler.trace.kernels()
+
+    def test_on_trace_ready_callback(self):
+        received = []
+        profiler = Profiler(on_trace_ready=received.append)
+        profiler.start()
+        profiler.stop()
+        assert received == [profiler.trace]

@@ -1,0 +1,95 @@
+"""Unit tests for the operator registry."""
+
+import pytest
+
+from repro.torchsim.kernel import OpCategory
+from repro.torchsim.ops.registry import OperatorDef, OperatorRegistry, global_registry, register_op
+
+
+def _noop(ctx, *args, **kwargs):
+    return None
+
+
+class TestOperatorRegistry:
+    def test_register_and_get(self):
+        registry = OperatorRegistry()
+        op = OperatorDef(name="aten::foo", schema_str="aten::foo(Tensor self) -> Tensor",
+                         category=OpCategory.ATEN, fn=_noop)
+        registry.register(op)
+        assert registry.has("aten::foo")
+        assert registry.get("aten::foo") is op
+
+    def test_duplicate_registration_rejected(self):
+        registry = OperatorRegistry()
+        op = OperatorDef(name="aten::foo", schema_str="aten::foo(Tensor self) -> Tensor",
+                         category=OpCategory.ATEN, fn=_noop)
+        registry.register(op)
+        with pytest.raises(ValueError, match="already registered"):
+            registry.register(op)
+
+    def test_duplicate_allowed_with_overwrite(self):
+        registry = OperatorRegistry()
+        op = OperatorDef(name="aten::foo", schema_str="aten::foo(Tensor self) -> Tensor",
+                         category=OpCategory.ATEN, fn=_noop)
+        registry.register(op)
+        registry.register(op, overwrite=True)
+        assert len(registry) == 1
+
+    def test_unknown_op_raises_keyerror(self):
+        registry = OperatorRegistry()
+        with pytest.raises(KeyError):
+            registry.get("aten::missing")
+
+    def test_library_defaults_to_namespace(self):
+        op = OperatorDef(name="fbgemm::bar", schema_str="fbgemm::bar(Tensor x) -> Tensor",
+                         category=OpCategory.CUSTOM, fn=_noop)
+        assert op.library == "fbgemm"
+
+    def test_by_category_and_library(self):
+        registry = OperatorRegistry()
+        registry.register(OperatorDef(name="aten::a", schema_str="aten::a(Tensor x) -> Tensor",
+                                      category=OpCategory.ATEN, fn=_noop))
+        registry.register(OperatorDef(name="c10d::b", schema_str="c10d::b(Tensor x) -> Tensor",
+                                      category=OpCategory.COMM, fn=_noop))
+        assert [op.name for op in registry.by_category(OpCategory.COMM)] == ["c10d::b"]
+        assert [op.name for op in registry.by_library("aten")] == ["aten::a"]
+
+    def test_register_op_decorator(self):
+        registry = OperatorRegistry()
+
+        @register_op("test::scale(Tensor self, float factor) -> Tensor", registry=registry)
+        def scale(ctx, self, factor):
+            return self
+
+        assert registry.has("test::scale")
+        assert registry.get("test::scale").schema.args[1].name == "factor"
+
+
+class TestGlobalRegistryContents:
+    """The built-in operator library registered on import."""
+
+    @pytest.mark.parametrize(
+        "name",
+        [
+            "aten::linear", "aten::addmm", "aten::mm", "aten::bmm", "aten::relu",
+            "aten::conv2d", "aten::convolution", "aten::batch_norm", "aten::max_pool2d",
+            "aten::embedding_bag", "aten::cat", "aten::mse_loss", "aten::_foreach_add_",
+            "c10d::all_reduce", "c10d::all_to_all", "c10d::all_gather", "c10d::broadcast",
+            "fused::TensorExprGroup",
+            "fbgemm::split_embedding_codegen_lookup_function",
+            "fairseq::lstm_layer",
+            "internal::sparse_data_preproc",
+        ],
+    )
+    def test_builtin_operator_registered(self, name):
+        assert global_registry.has(name)
+
+    def test_comm_ops_have_comm_category(self):
+        assert global_registry.get("c10d::all_reduce").category == OpCategory.COMM
+
+    def test_custom_ops_have_custom_category(self):
+        assert global_registry.get("fairseq::lstm_layer").category == OpCategory.CUSTOM
+
+    def test_registry_has_reasonable_size(self):
+        # The built-in library should cover the operators the workloads use.
+        assert len(global_registry) >= 40

@@ -1,0 +1,104 @@
+"""Unit tests for the operator-schema parser (repro.torchsim.ops.schema)."""
+
+import pytest
+
+from repro.torchsim.ops.schema import OperatorSchema, SchemaArg, parse_schema
+
+
+class TestParseSimpleSchemas:
+    def test_single_tensor_arg(self):
+        schema = parse_schema("aten::relu(Tensor self) -> Tensor")
+        assert schema.namespace == "aten"
+        assert schema.name == "relu"
+        assert schema.overload == ""
+        assert schema.qualified_name == "aten::relu"
+        assert len(schema.args) == 1
+        assert schema.args[0].name == "self"
+        assert schema.args[0].is_tensor
+        assert schema.returns == ("Tensor",)
+
+    def test_overload_parsed(self):
+        schema = parse_schema("aten::add.Tensor(Tensor self, Tensor other, *, Scalar alpha=1) -> Tensor")
+        assert schema.overload == "Tensor"
+        assert schema.full_name == "aten::add.Tensor"
+        assert schema.qualified_name == "aten::add"
+
+    def test_kwarg_only_marker(self):
+        schema = parse_schema("aten::add.Tensor(Tensor self, Tensor other, *, Scalar alpha=1) -> Tensor")
+        assert not schema.args[0].kwarg_only
+        assert not schema.args[1].kwarg_only
+        assert schema.args[2].kwarg_only
+        assert schema.args[2].default == "1"
+        assert schema.kwarg_only_args == (schema.args[2],)
+        assert schema.positional_args == schema.args[:2]
+
+    def test_defaults_captured(self):
+        schema = parse_schema("aten::dropout(Tensor input, float p=0.5, bool train=True) -> Tensor")
+        assert schema.args[1].default == "0.5"
+        assert schema.args[2].default == "True"
+
+    def test_optional_tensor_arg(self):
+        schema = parse_schema("aten::linear(Tensor input, Tensor weight, Tensor? bias=None) -> Tensor")
+        assert schema.args[2].is_optional
+        assert schema.args[2].is_tensor
+
+    def test_multiple_returns(self):
+        schema = parse_schema(
+            "aten::convolution_backward(Tensor grad_output, Tensor input, Tensor weight, int[] stride, int[] padding, int groups) -> (Tensor, Tensor, Tensor)"
+        )
+        assert schema.returns == ("Tensor", "Tensor", "Tensor")
+
+    def test_tensor_list_arg(self):
+        schema = parse_schema("aten::cat(Tensor[] tensors, int dim=0) -> Tensor")
+        assert schema.args[0].is_tensor_list
+
+    def test_bracketed_int_list_type(self):
+        schema = parse_schema("aten::max_pool2d(Tensor self, int[2] kernel_size, int[2] stride=1) -> Tensor")
+        assert schema.args[1].type == "int[2]"
+        assert schema.args[1].name == "kernel_size"
+
+    def test_namespace_other_than_aten(self):
+        schema = parse_schema("fbgemm::dense_to_jagged(Tensor dense, Tensor lengths) -> Tensor")
+        assert schema.namespace == "fbgemm"
+
+    def test_string_default(self):
+        schema = parse_schema('c10d::all_reduce(Tensor[] tensors, str reduce_op="sum") -> Tensor[]')
+        assert schema.args[1].default == '"sum"'
+
+
+class TestParseErrors:
+    def test_missing_namespace_rejected(self):
+        with pytest.raises(ValueError):
+            parse_schema("relu(Tensor self) -> Tensor")
+
+    def test_empty_string_rejected(self):
+        with pytest.raises(ValueError):
+            parse_schema("")
+
+    def test_annotation_node_name_rejected(self):
+        with pytest.raises(ValueError):
+            parse_schema("## forward ##")
+
+    def test_missing_return_rejected(self):
+        with pytest.raises(ValueError):
+            parse_schema("aten::relu(Tensor self)")
+
+
+class TestSchemaRoundTrip:
+    @pytest.mark.parametrize(
+        "schema_str",
+        [
+            "aten::relu(Tensor self) -> Tensor",
+            "aten::add.Tensor(Tensor self, Tensor other, *, Scalar alpha=1) -> Tensor",
+            "aten::cat(Tensor[] tensors, int dim=0) -> Tensor",
+            "aten::mm(Tensor self, Tensor mat2) -> Tensor",
+        ],
+    )
+    def test_to_string_reparses_identically(self, schema_str):
+        first = parse_schema(schema_str)
+        second = parse_schema(first.to_string())
+        assert first == second
+
+    def test_to_string_contains_star_for_kwarg_only(self):
+        schema = parse_schema("aten::add.Tensor(Tensor self, Tensor other, *, Scalar alpha=1) -> Tensor")
+        assert "*" in schema.to_string()

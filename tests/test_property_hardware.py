@@ -1,0 +1,148 @@
+"""Property-based tests for the hardware models (cost, timeline, power, network)."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.hardware.costmodel import KernelCostModel
+from repro.hardware.gpu import GpuTimeline
+from repro.hardware.network import CollectiveCostModel
+from repro.hardware.power import PowerModel
+from repro.hardware.specs import A100, V100
+from repro.torchsim.kernel import KernelDesc, KernelKind, KernelLaunch, OpCategory
+
+kernel_kinds = st.sampled_from(list(KernelKind))
+
+
+@st.composite
+def kernel_descs(draw):
+    return KernelDesc(
+        name="k",
+        kind=draw(kernel_kinds),
+        flops=draw(st.floats(min_value=0, max_value=1e13)),
+        bytes_read=draw(st.floats(min_value=0, max_value=1e10)),
+        bytes_written=draw(st.floats(min_value=0, max_value=1e10)),
+        occupancy=draw(st.floats(min_value=0.05, max_value=1.0)),
+        locality=draw(st.floats(min_value=0.0, max_value=1.0)),
+    )
+
+
+class TestCostModelProperties:
+    @given(kernel_descs())
+    @settings(max_examples=300, deadline=None)
+    def test_duration_positive_and_finite(self, desc):
+        duration = KernelCostModel(A100).duration_us(desc)
+        assert duration >= 1.5
+        assert duration < 1e9
+
+    @given(kernel_descs(), st.floats(min_value=0.3, max_value=1.0))
+    @settings(max_examples=200, deadline=None)
+    def test_lower_clock_never_speeds_up(self, desc, scale):
+        full = KernelCostModel(A100, clock_scale=1.0).duration_us(desc)
+        throttled = KernelCostModel(A100, clock_scale=scale).duration_us(desc)
+        assert throttled >= full - 1e-9
+
+    @given(kernel_descs(), st.floats(min_value=1.0, max_value=8.0))
+    @settings(max_examples=200, deadline=None)
+    def test_more_work_never_faster(self, desc, factor):
+        model = KernelCostModel(A100)
+        bigger = KernelDesc(
+            name=desc.name, kind=desc.kind, flops=desc.flops * factor,
+            bytes_read=desc.bytes_read * factor, bytes_written=desc.bytes_written * factor,
+            occupancy=desc.occupancy, locality=desc.locality,
+        )
+        assert model.duration_us(bigger) >= model.duration_us(desc) - 1e-9
+
+    @given(kernel_descs())
+    @settings(max_examples=200, deadline=None)
+    def test_roofline_never_faster_than_flops_only_model(self, desc):
+        roofline = KernelCostModel(A100, mode="roofline").duration_us(desc)
+        flops_only = KernelCostModel(A100, mode="flops").duration_us(desc)
+        assert roofline >= flops_only - 1e-9
+
+
+class TestTimelineProperties:
+    @given(st.lists(
+        st.tuples(
+            st.sampled_from([7, 20, 22]),
+            st.floats(min_value=0, max_value=1000),     # launch ts
+            st.floats(min_value=1, max_value=500),      # duration
+        ),
+        min_size=1, max_size=40,
+    ))
+    @settings(max_examples=200, deadline=None)
+    def test_stream_ordering_and_busy_time_invariants(self, launches):
+        timeline = GpuTimeline()
+        resolved = []
+        # Launch timestamps must be non-decreasing like a real CPU clock.
+        current_ts = 0.0
+        for stream, ts_increment, duration in launches:
+            current_ts += ts_increment / 10.0
+            desc = KernelDesc(name="k", kind=KernelKind.ELEMENTWISE, bytes_read=1e6, bytes_written=1e6)
+            resolved.append(
+                timeline.add_launch(
+                    KernelLaunch(desc=desc, stream_id=stream, launch_ts=current_ts,
+                                 duration=duration, op_node_id=0, op_name="op",
+                                 category=OpCategory.ATEN)
+                )
+            )
+        # Invariant 1: kernels never start before their launch timestamp.
+        assert all(k.start >= k.launch_ts for k in resolved)
+        # Invariant 2: per-stream issue order is preserved without overlap.
+        per_stream = {}
+        for kernel in resolved:
+            per_stream.setdefault(kernel.stream_id, []).append(kernel)
+        for kernels in per_stream.values():
+            for earlier, later in zip(kernels, kernels[1:]):
+                assert later.start >= earlier.end - 1e-9
+        # Invariant 3: busy time <= wall time and <= total kernel time.
+        stats = timeline.stats()
+        assert stats.busy_time_us <= stats.wall_time_us + 1e-6
+        assert stats.busy_time_us <= stats.total_kernel_time_us + 1e-6
+        # Invariant 4: exposed time per category never exceeds its kernel time.
+        for category, exposed in stats.category_exposed_time_us.items():
+            assert exposed <= stats.category_kernel_time_us[category] + 1e-6
+        # Invariant 5: utilisation bounded.
+        assert 0.0 <= stats.sm_utilization <= 1.0
+
+
+class TestPowerModelProperties:
+    @given(st.floats(min_value=100.0, max_value=400.0),
+           st.floats(min_value=0.0, max_value=1.0),
+           st.floats(min_value=0.0, max_value=1.0))
+    @settings(max_examples=300, deadline=None)
+    def test_power_bounded_by_idle_and_limit(self, limit, busy, utilization):
+        model = PowerModel(A100, power_limit_w=limit)
+        power = model.average_power_w(busy, utilization)
+        assert A100.idle_power_w - 1e-9 <= power <= limit + 1e-9
+
+    @given(st.floats(min_value=100.0, max_value=400.0))
+    @settings(max_examples=100, deadline=None)
+    def test_clock_scale_in_unit_interval(self, limit):
+        assert 0.0 < PowerModel(A100, power_limit_w=limit).clock_scale <= 1.0
+
+    @given(st.floats(min_value=100.0, max_value=299.0), st.floats(min_value=0.1, max_value=1.0))
+    @settings(max_examples=100, deadline=None)
+    def test_higher_cap_never_lowers_clock(self, limit, _unused):
+        low = PowerModel(V100, power_limit_w=limit).clock_scale
+        high = PowerModel(V100, power_limit_w=min(limit + 50.0, V100.tdp_w)).clock_scale
+        assert high >= low - 1e-9
+
+
+class TestCollectiveModelProperties:
+    collectives = st.sampled_from(["all_reduce", "all_to_all", "all_gather", "reduce_scatter", "broadcast"])
+
+    @given(collectives, st.floats(min_value=1e3, max_value=1e9), st.integers(min_value=2, max_value=256))
+    @settings(max_examples=300, deadline=None)
+    def test_duration_positive_and_monotone_in_bytes(self, op, payload, world_size):
+        model = CollectiveCostModel()
+        small = model.collective_us(op, payload, world_size)
+        large = model.collective_us(op, payload * 4, world_size)
+        assert small > 0
+        assert large >= small - 1e-9
+
+    @given(collectives, st.floats(min_value=1e5, max_value=1e8))
+    @settings(max_examples=100, deadline=None)
+    def test_crossing_node_boundary_not_faster(self, op, payload):
+        model = CollectiveCostModel()
+        within = model.collective_us(op, payload, 8)
+        across = model.collective_us(op, payload, 16)
+        assert across >= within - 1e-9

@@ -1,0 +1,143 @@
+"""Unit tests for the simulated runtime (dispatch, clocks, streams, threads)."""
+
+import pytest
+
+from repro.torchsim import Runtime, Tensor, ExecutionGraphObserver, Profiler
+from repro.torchsim.kernel import KernelDesc, KernelKind
+from repro.torchsim.stream import COMM_STREAM, DEFAULT_COMPUTE_STREAM
+
+
+class TestDispatchAndClocks:
+    def test_cpu_clock_advances_on_dispatch(self):
+        rt = Runtime("A100")
+        before = rt.now()
+        rt.call("aten::relu", Tensor.empty((16,)))
+        assert rt.now() > before
+
+    def test_gpu_runs_asynchronously(self):
+        rt = Runtime("A100")
+        rt.call("aten::mm", Tensor.empty((2048, 2048)), Tensor.empty((2048, 2048)))
+        # The CPU has only paid dispatch + launch overhead; the kernel is
+        # still outstanding on the GPU.
+        assert rt.gpu.device_ready_time() > rt.now()
+
+    def test_synchronize_joins_cpu_and_gpu(self):
+        rt = Runtime("A100")
+        rt.call("aten::mm", Tensor.empty((2048, 2048)), Tensor.empty((2048, 2048)))
+        ready = rt.synchronize()
+        assert ready == pytest.approx(rt.gpu.device_ready_time())
+        assert rt.now() == pytest.approx(ready)
+
+    def test_unknown_operator_raises(self):
+        rt = Runtime("A100")
+        with pytest.raises(KeyError):
+            rt.call("aten::does_not_exist", Tensor.empty((1,)))
+
+    def test_nested_calls_cheaper_than_top_level(self):
+        rt = Runtime("A100")
+        start = rt.now()
+        rt.call("aten::t", Tensor.empty((8, 8)))  # composite: t -> transpose -> as_strided
+        elapsed = rt.now() - start
+        # Three dispatches, but the nested two are discounted.
+        full = rt.spec.dispatch_overhead_us
+        assert elapsed < 3 * full
+        assert elapsed > full
+
+    def test_cpu_device_spec_accepted(self):
+        rt = Runtime("CPU")
+        rt.call("aten::relu", Tensor.empty((16,)))
+        assert rt.gpu.launches  # the CPU "device" still executes kernels
+
+
+class TestThreadsAndStreams:
+    def test_thread_scope_switches_and_restores(self):
+        rt = Runtime("A100")
+        assert rt.current_thread == "main"
+        with rt.thread("autograd"):
+            assert rt.current_thread == "autograd"
+        assert rt.current_thread == "main"
+
+    def test_thread_clock_starts_at_parent_time(self):
+        rt = Runtime("A100")
+        rt.advance_cpu(100.0)
+        with rt.thread("autograd"):
+            assert rt.now() >= 100.0
+
+    def test_parent_thread_joins_child_on_exit(self):
+        rt = Runtime("A100")
+        with rt.thread("autograd"):
+            rt.advance_cpu(500.0)
+        assert rt.now("main") >= 500.0
+
+    def test_stream_scope(self):
+        rt = Runtime("A100")
+        assert rt.current_stream == DEFAULT_COMPUTE_STREAM
+        with rt.stream(COMM_STREAM):
+            assert rt.current_stream == COMM_STREAM
+        assert rt.current_stream == DEFAULT_COMPUTE_STREAM
+
+    def test_call_with_stream_override_places_kernel(self):
+        rt = Runtime("A100")
+        rt.call("aten::relu", Tensor.empty((1024,)), stream=COMM_STREAM)
+        assert rt.gpu.launches[0].stream_id == COMM_STREAM
+
+    def test_kernels_on_same_stream_serialize(self):
+        rt = Runtime("A100")
+        rt.call("aten::mm", Tensor.empty((1024, 1024)), Tensor.empty((1024, 1024)))
+        rt.call("aten::mm", Tensor.empty((1024, 1024)), Tensor.empty((1024, 1024)))
+        first, second = rt.gpu.launches
+        assert second.start >= first.end
+
+    def test_kernels_on_different_streams_can_overlap(self):
+        rt = Runtime("A100")
+        rt.call("aten::mm", Tensor.empty((4096, 4096)), Tensor.empty((4096, 4096)))
+        rt.call("aten::relu", Tensor.empty((64,)), stream=COMM_STREAM)
+        compute, side = rt.gpu.launches
+        assert side.start < compute.end
+
+
+class TestRecordFunctionAndObservers:
+    def test_record_function_creates_annotation_node(self):
+        rt = Runtime("A100")
+        observer = rt.attach_observer(ExecutionGraphObserver())
+        observer.register_callback(None)
+        observer.start()
+        with rt.record_function("## forward ##"):
+            rt.call("aten::relu", Tensor.empty((16,)))
+        observer.stop()
+        trace = observer.trace
+        labels = trace.find_by_label("## forward ##")
+        assert len(labels) == 1
+        assert not labels[0].is_operator
+        children = trace.children(labels[0].id)
+        assert [c.name for c in children] == ["aten::relu"]
+
+    def test_profiler_records_cpu_and_kernel_events(self):
+        rt = Runtime("A100")
+        profiler = rt.attach_profiler(Profiler())
+        with profiler:
+            rt.call("aten::mm", Tensor.empty((64, 64)), Tensor.empty((64, 64)))
+        assert len(profiler.trace.cpu_ops()) == 1
+        assert len(profiler.trace.kernels()) == 1
+        kernel = profiler.trace.kernels()[0]
+        assert kernel.op_node_id == profiler.trace.cpu_ops()[0].op_node_id
+
+    def test_observer_disabled_records_nothing(self):
+        rt = Runtime("A100")
+        observer = rt.attach_observer(ExecutionGraphObserver())
+        observer.register_callback(None)
+        rt.call("aten::relu", Tensor.empty((16,)))
+        assert observer.trace is None
+
+    def test_launch_kernel_blocking_advances_cpu(self):
+        rt = Runtime("A100")
+        desc = KernelDesc(name="k", kind=KernelKind.GEMM, flops=1e9)
+        launch = rt.launch_kernel(desc, blocking=True)
+        assert rt.now() >= launch.end
+
+    def test_power_limit_slows_kernels(self):
+        fast = Runtime("A100")
+        slow = Runtime("A100", power_limit_w=150.0)
+        fast.call("aten::mm", Tensor.empty((2048, 2048)), Tensor.empty((2048, 2048)))
+        slow.call("aten::mm", Tensor.empty((2048, 2048)), Tensor.empty((2048, 2048)))
+        assert slow.gpu.launches[0].duration > fast.gpu.launches[0].duration

@@ -1,0 +1,81 @@
+"""Unit tests for streams and kernel descriptors."""
+
+import pytest
+
+from repro.torchsim.kernel import KernelDesc, KernelKind, KernelLaunch, OpCategory
+from repro.torchsim.stream import (
+    COMM_STREAM,
+    DEFAULT_COMPUTE_STREAM,
+    MEMCPY_STREAM,
+    Stream,
+    StreamPool,
+)
+
+
+class TestStreamPool:
+    def test_default_streams_present(self):
+        pool = StreamPool()
+        assert DEFAULT_COMPUTE_STREAM in pool.ids()
+        assert COMM_STREAM in pool.ids()
+        assert MEMCPY_STREAM in pool.ids()
+
+    def test_get_existing_stream_returns_same_object(self):
+        pool = StreamPool()
+        assert pool.get(DEFAULT_COMPUTE_STREAM) is pool.default
+
+    def test_get_unknown_stream_creates_it(self):
+        pool = StreamPool()
+        stream = pool.get(42)
+        assert stream.stream_id == 42
+        assert 42 in pool.ids()
+
+    def test_named_accessors(self):
+        pool = StreamPool()
+        assert pool.comm.stream_id == COMM_STREAM
+        assert pool.memcpy.stream_id == MEMCPY_STREAM
+
+    def test_stream_str(self):
+        assert str(Stream(7)) == "stream 7"
+
+
+class TestKernelDesc:
+    def test_bytes_total(self):
+        desc = KernelDesc(name="k", kind=KernelKind.GEMM, bytes_read=100, bytes_written=50)
+        assert desc.bytes_total == 150
+
+    def test_arithmetic_intensity(self):
+        desc = KernelDesc(name="k", kind=KernelKind.GEMM, flops=300, bytes_read=100, bytes_written=50)
+        assert desc.arithmetic_intensity == pytest.approx(2.0)
+
+    def test_arithmetic_intensity_zero_bytes(self):
+        desc = KernelDesc(name="k", kind=KernelKind.GEMM, flops=300)
+        assert desc.arithmetic_intensity == 0.0
+
+    def test_default_occupancy_range(self):
+        desc = KernelDesc(name="k", kind=KernelKind.ELEMENTWISE)
+        assert 0.0 < desc.occupancy <= 1.0
+
+
+class TestKernelLaunch:
+    def test_unresolved_launch(self):
+        desc = KernelDesc(name="k", kind=KernelKind.GEMM)
+        launch = KernelLaunch(
+            desc=desc, stream_id=7, launch_ts=0.0, duration=10.0,
+            op_node_id=1, op_name="aten::mm", category=OpCategory.ATEN,
+        )
+        assert not launch.resolved
+
+    def test_resolved_launch(self):
+        desc = KernelDesc(name="k", kind=KernelKind.GEMM)
+        launch = KernelLaunch(
+            desc=desc, stream_id=7, launch_ts=0.0, duration=10.0,
+            op_node_id=1, op_name="aten::mm", category=OpCategory.ATEN,
+            start=5.0, end=15.0,
+        )
+        assert launch.resolved
+
+    def test_category_values(self):
+        assert OpCategory.ATEN.value == "aten"
+        assert OpCategory.COMM.value == "comms"
+        assert OpCategory.FUSED.value == "fused"
+        assert OpCategory.CUSTOM.value == "custom"

@@ -1,0 +1,93 @@
+"""Unit tests for repro.torchsim.tensor."""
+
+import numpy as np
+import pytest
+
+from repro.torchsim.device import Device
+from repro.torchsim.dtypes import DType
+from repro.torchsim.tensor import Tensor, reset_tensor_ids
+
+
+class TestTensorBasics:
+    def test_numel_and_nbytes(self):
+        tensor = Tensor.empty((4, 8), dtype=DType.FLOAT32)
+        assert tensor.numel == 32
+        assert tensor.nbytes == 128
+
+    def test_scalar_tensor_has_numel_one(self):
+        tensor = Tensor.empty(())
+        assert tensor.numel == 1
+        assert tensor.ndim == 0
+
+    def test_negative_dimension_rejected(self):
+        with pytest.raises(ValueError):
+            Tensor(shape=(2, -1))
+
+    def test_size_accessor(self):
+        tensor = Tensor.empty((3, 5, 7))
+        assert tensor.size() == (3, 5, 7)
+        assert tensor.size(1) == 5
+
+    def test_default_device_is_cuda(self):
+        assert Tensor.empty((2,)).device == Device.cuda()
+
+    def test_int64_nbytes(self):
+        tensor = Tensor.empty((10,), dtype=DType.INT64)
+        assert tensor.nbytes == 80
+
+    def test_type_string(self):
+        assert Tensor.empty((1,), dtype=DType.FLOAT16).type_string() == "Tensor(float16)"
+
+
+class TestTensorIdentity:
+    def test_id_is_six_element_tuple(self):
+        tensor = Tensor.empty((2, 3), dtype=DType.FLOAT32)
+        identity = tensor.id
+        assert len(identity) == 6
+        tensor_id, storage_id, offset, numel, itemsize, device = identity
+        assert numel == 6
+        assert itemsize == 4
+        assert offset == 0
+        assert device == "cuda:0"
+
+    def test_ids_are_unique(self):
+        first = Tensor.empty((1,))
+        second = Tensor.empty((1,))
+        assert first.tensor_id != second.tensor_id
+        assert first.storage_id != second.storage_id
+
+    def test_reset_tensor_ids_restarts_counters(self):
+        reset_tensor_ids()
+        tensor = Tensor.empty((1,))
+        assert tensor.tensor_id == 1
+        assert tensor.storage_id == 1
+
+    def test_view_shares_storage_with_new_tensor_id(self):
+        base = Tensor.empty((4, 4))
+        view = base.view_as_new_tensor()
+        assert view.storage_id == base.storage_id
+        assert view.tensor_id != base.tensor_id
+        assert view.shape == base.shape
+
+
+class TestTensorFactories:
+    def test_randn_metadata_only_by_default(self):
+        tensor = Tensor.randn((128, 128))
+        assert tensor.data is None
+
+    def test_randn_materialized_when_requested(self):
+        tensor = Tensor.randn((4, 4), materialize=True)
+        assert tensor.data is not None
+        assert tensor.data.shape == (4, 4)
+
+    def test_from_indices_materializes_payload(self):
+        tensor = Tensor.from_indices([1, 5, 9, 2])
+        assert tensor.dtype == DType.INT64
+        assert tensor.shape == (4,)
+        assert tensor.data is not None
+        np.testing.assert_array_equal(tensor.data, np.array([1, 5, 9, 2]))
+
+    def test_requires_grad_flag(self):
+        tensor = Tensor.empty((2, 2), requires_grad=True)
+        assert tensor.requires_grad
+        assert tensor.grad is None

@@ -1,0 +1,165 @@
+"""Tests for the four evaluated workloads and the distributed runner."""
+
+import pytest
+
+from repro.et.analyzer import ETAnalyzer, categorize_node
+from repro.torchsim.distributed import DistributedContext
+from repro.torchsim.kernel import OpCategory
+from repro.torchsim.runtime import Runtime
+from repro.workloads import WORKLOAD_FACTORIES, build_workload
+from repro.workloads.ddp import DistributedRunner
+from repro.workloads.param_linear import ParamLinearConfig, ParamLinearWorkload
+from repro.workloads.resnet import ResNetConfig, ResNetWorkload
+from repro.bench.harness import capture_workload
+from tests.conftest import make_small_rm
+
+
+class TestWorkloadRegistry:
+    def test_all_four_paper_workloads_available(self):
+        assert set(WORKLOAD_FACTORIES) == {"param_linear", "resnet", "asr", "rm"}
+
+    def test_build_workload_by_name(self):
+        workload = build_workload("param_linear", config=ParamLinearConfig(num_layers=2, batch_size=8))
+        assert workload.name == "param_linear"
+
+    def test_unknown_workload_rejected(self):
+        with pytest.raises(KeyError, match="known workloads"):
+            build_workload("gpt17")
+
+
+class TestParamLinear:
+    def test_operator_mix_is_pure_aten(self, small_param_linear):
+        capture = capture_workload(small_param_linear, warmup_iterations=0)
+        categories = {categorize_node(node) for node in capture.execution_trace.operators()}
+        assert categories == {"aten"}
+
+    def test_layer_count_reflected_in_linear_ops(self, small_param_linear):
+        capture = capture_workload(small_param_linear, warmup_iterations=0)
+        linears = capture.execution_trace.find_by_name("aten::linear")
+        assert len(linears) == small_param_linear.config.num_layers
+
+    def test_forward_label_present(self, small_param_linear):
+        capture = capture_workload(small_param_linear, warmup_iterations=0)
+        assert capture.execution_trace.find_by_label("## forward ##")
+
+    def test_iteration_time_scales_with_depth(self):
+        shallow = ParamLinearWorkload(ParamLinearConfig(num_layers=2, batch_size=64, hidden_size=512, input_size=512))
+        deep = ParamLinearWorkload(ParamLinearConfig(num_layers=8, batch_size=64, hidden_size=512, input_size=512))
+        shallow_capture = capture_workload(shallow, warmup_iterations=0)
+        deep_capture = capture_workload(deep, warmup_iterations=0)
+        assert deep_capture.iteration_time_us > 2 * shallow_capture.iteration_time_us
+
+    def test_repeated_iterations_are_stable(self, small_param_linear):
+        runtime = Runtime("A100")
+        times = small_param_linear.run_training(runtime, 3)
+        assert len(times) == 3
+        assert max(times) - min(times) < 0.05 * max(times)
+
+
+class TestResNet:
+    def test_conv_bn_and_pool_ops_present(self, small_resnet):
+        capture = capture_workload(small_resnet, warmup_iterations=0)
+        names = {node.name for node in capture.execution_trace.operators()}
+        assert {"aten::conv2d", "aten::batch_norm", "aten::max_pool2d", "aten::linear"} <= names
+        assert "aten::convolution_backward" in names
+
+    def test_residual_adds_present(self, small_resnet):
+        capture = capture_workload(small_resnet, warmup_iterations=0)
+        assert capture.execution_trace.find_by_name("aten::add")
+
+    def test_parameter_count_reasonable(self):
+        # Full ResNet-18 has ~11.7M parameters; the structural model should
+        # be in that ballpark.
+        workload = ResNetWorkload(ResNetConfig())
+        total = sum(p.numel for p in workload.parameters())
+        assert 10e6 < total < 14e6
+
+    def test_gpu_dominated_iteration(self, small_resnet):
+        capture = capture_workload(small_resnet, warmup_iterations=0)
+        assert capture.timeline_stats.busy_fraction > 0.5
+
+
+class TestASR:
+    def test_custom_lstm_ops_present(self, small_asr):
+        capture = capture_workload(small_asr, warmup_iterations=0)
+        names = [node.name for node in capture.execution_trace.operators()]
+        assert names.count("fairseq::lstm_layer") == small_asr.config.num_lstm_layers
+        assert "fairseq::specaugment" in names
+        assert "fused::TensorExprGroup" in names
+
+    def test_custom_ops_are_small_fraction_of_count(self, small_asr):
+        capture = capture_workload(small_asr, warmup_iterations=0)
+        analyzer = ETAnalyzer(capture.execution_trace, capture.profiler_trace)
+        fractions = analyzer.category_breakdown().count_fractions()
+        assert fractions["custom"] < 0.2
+        assert fractions["aten"] > 0.7
+
+    def test_custom_ops_significant_fraction_of_gpu_time(self, small_asr):
+        capture = capture_workload(small_asr, warmup_iterations=0)
+        analyzer = ETAnalyzer(capture.execution_trace, capture.profiler_trace)
+        exposed = analyzer.category_breakdown().gpu_exposed_fractions()
+        assert exposed["custom"] > 0.05
+
+
+class TestRM:
+    def test_embedding_and_custom_ops_present(self, small_rm):
+        capture = capture_workload(small_rm, warmup_iterations=0)
+        names = {node.name for node in capture.execution_trace.operators()}
+        assert "fbgemm::split_embedding_codegen_lookup_function" in names
+        assert "internal::sparse_data_preproc" in names
+        assert "aten::bmm" in names
+
+    def test_lookup_indices_have_payload(self, small_rm):
+        assert small_rm.lookup_indices.data is not None
+        assert small_rm.lookup_indices.data.max() < small_rm.config.rows_per_table
+
+    def test_embedding_tables_excluded_from_dense_optimizer(self, small_rm):
+        assert small_rm.embedding_weights not in small_rm.parameters()
+
+    def test_distributed_rm_issues_alltoall_and_allreduce(self):
+        dist = DistributedContext(rank=0, world_size=4)
+        runtime = Runtime("A100", dist=dist)
+        workload = make_small_rm(rank=0, world_size=4)
+        capture = capture_workload(workload, warmup_iterations=0, runtime=runtime)
+        names = [node.name for node in capture.execution_trace.operators()]
+        assert "c10d::all_to_all" in names
+        assert "c10d::all_reduce" in names
+
+    def test_table_sharding_across_ranks(self):
+        workloads = [make_small_rm(rank=rank, world_size=4) for rank in range(4)]
+        assert sum(w.local_tables for w in workloads) == workloads[0].config.num_tables
+
+
+class TestDistributedRunner:
+    def test_per_rank_captures(self):
+        runner = DistributedRunner(lambda rank, world: make_small_rm(rank, world), world_size=4)
+        captures = runner.run(ranks_to_simulate=2)
+        assert len(captures) == 2
+        for rank, capture in enumerate(captures):
+            assert capture.rank == rank
+            assert capture.execution_trace.metadata["world_size"] == 4
+            assert capture.iteration_time_us > 0
+
+    def test_aggregate_metrics(self):
+        runner = DistributedRunner(lambda rank, world: make_small_rm(rank, world), world_size=4)
+        captures = runner.run(ranks_to_simulate=2)
+        aggregate = DistributedRunner.aggregate_metrics(captures)
+        assert set(aggregate) == {
+            "execution_time_ms", "sm_utilization_pct", "hbm_bandwidth_gbps", "gpu_power_w",
+        }
+        assert aggregate["execution_time_ms"] > 0
+
+    def test_distributed_slower_than_single_gpu(self):
+        single = capture_workload(make_small_rm(), warmup_iterations=0)
+        runner = DistributedRunner(lambda rank, world: make_small_rm(rank, world), world_size=16)
+        distributed = runner.run(ranks_to_simulate=1)[0]
+        # Communication makes the distributed per-iteration time longer for
+        # this fixed per-rank problem size.
+        assert distributed.iteration_time_us > single.iteration_time_us
+
+    def test_invalid_world_size_rejected(self):
+        with pytest.raises(ValueError):
+            DistributedRunner(lambda rank, world: make_small_rm(rank, world), world_size=0)
+
+    def test_aggregate_of_empty_list(self):
+        assert DistributedRunner.aggregate_metrics([]) == {}
