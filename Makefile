@@ -1,0 +1,23 @@
+# Developer entry points. `make test` is the tier-1 gate CI runs.
+
+PYTHON ?= python
+export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH),)
+
+.PHONY: test bench lint example-sweep clean
+
+test:
+	$(PYTHON) -m pytest -x -q
+
+bench:
+	$(PYTHON) -m pytest benchmarks/ -q
+
+lint:
+	$(PYTHON) -m compileall -q src tests benchmarks examples
+	$(PYTHON) -m repro --version
+
+example-sweep:
+	$(PYTHON) examples/batch_sweep.py
+
+clean:
+	rm -rf .pytest_cache .benchmarks examples/trace_repo
+	find . -name __pycache__ -type d -exec rm -rf {} +

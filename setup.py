@@ -1,10 +1,56 @@
-"""Setuptools shim.
+"""Packaging for the Mystique reproduction.
 
-Kept alongside ``pyproject.toml`` so that editable installs work in offline
-environments that lack the ``wheel`` package (pip falls back to the legacy
-``setup.py develop`` path with ``--no-use-pep517``).
+The package lives under ``src/`` (the ``src`` layout), so ``package_dir``
+maps the root package namespace there.  Kept as a plain ``setup.py`` so
+editable installs work in offline environments that lack the ``wheel``
+package (pip falls back to the legacy ``setup.py develop`` path).
 """
 
-from setuptools import setup
+import re
+from pathlib import Path
 
-setup()
+from setuptools import find_packages, setup
+
+_HERE = Path(__file__).resolve().parent
+
+
+def _read_version() -> str:
+    text = (_HERE / "src" / "repro" / "version.py").read_text()
+    match = re.search(r'__version__\s*=\s*"([^"]+)"', text)
+    assert match is not None, "version.py must define __version__"
+    return match.group(1)
+
+
+def _read_long_description() -> str:
+    readme = _HERE / "README.md"
+    return readme.read_text() if readme.is_file() else ""
+
+
+setup(
+    name="repro-mystique",
+    version=_read_version(),
+    description=(
+        "Reproduction of Mystique: Enabling Accurate and Scalable Generation "
+        "of Production AI Benchmarks (ISCA 2023)"
+    ),
+    long_description=_read_long_description(),
+    long_description_content_type="text/markdown",
+    package_dir={"": "src"},
+    packages=find_packages(where="src"),
+    python_requires=">=3.10",
+    install_requires=["numpy"],
+    extras_require={
+        "test": ["pytest", "hypothesis", "pytest-benchmark"],
+    },
+    entry_points={
+        "console_scripts": [
+            "repro=repro.service.cli:main",
+        ],
+    },
+    classifiers=[
+        "Programming Language :: Python :: 3",
+        "Programming Language :: Python :: 3.10",
+        "Programming Language :: Python :: 3.11",
+        "Topic :: System :: Benchmark",
+    ],
+)

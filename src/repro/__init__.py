@@ -30,6 +30,11 @@ The package is organised into:
 ``repro.bench``
     Harness utilities that regenerate every table and figure of the paper's
     evaluation section.
+
+``repro.service``
+    Batch replay orchestration: a trace repository, a content-addressed
+    result cache, a ``concurrent.futures`` worker pool, declarative
+    cross-device sweeps, and the ``python -m repro`` CLI.
 """
 
 from repro.version import __version__

@@ -1,0 +1,12 @@
+"""Entry point for ``python -m repro``.
+
+Delegates to :func:`repro.service.cli.main`, the batch replay orchestration
+CLI (``list-traces``, ``replay``, ``sweep``).
+"""
+
+import sys
+
+from repro.service.cli import main
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -8,7 +8,10 @@ uses to regenerate every table and figure of the paper:
 * :mod:`~repro.bench.metrics` — per-kernel counter aggregation (Figure 6)
   and operator-time breakdowns (Figure 4),
 * :mod:`~repro.bench.reporting` — plain-text table/series formatting plus
-  the static reference data of Table 1.
+  the static reference data of Table 1,
+* :mod:`~repro.bench.aggregate` — roll-ups over batch replay results
+  (per-job tables, per-device aggregates, cache accounting) used by the
+  ``repro.service`` sweep layer and CLI.
 """
 
 from repro.bench.harness import (
@@ -22,8 +25,18 @@ from repro.bench.harness import (
 )
 from repro.bench.metrics import kernel_counters_by_name, top_kernel_names, operator_gpu_time_breakdown
 from repro.bench.reporting import format_table, format_series, MLPERF_TRAINING_BENCHMARKS
+from repro.bench.aggregate import (
+    aggregate_by_device,
+    cache_summary_line,
+    format_batch_report,
+    format_device_aggregate,
+)
 
 __all__ = [
+    "aggregate_by_device",
+    "cache_summary_line",
+    "format_batch_report",
+    "format_device_aggregate",
     "CaptureResult",
     "ComparisonResult",
     "OriginalRunResult",

@@ -1,0 +1,102 @@
+"""Aggregate reporting over batch replay results.
+
+The single-trace reporting in :mod:`repro.bench.reporting` renders one
+table or figure at a time; this module rolls the per-job results of a
+:class:`~repro.service.batch.BatchResult` up into the summaries a sweep
+prints: one row per job, per-device aggregates, and cache statistics.
+It deliberately depends only on the job-result shape (label, config,
+summary, cached flag), not on the service layer itself, so ``bench``
+stays importable without ``service`` and vice versa.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Sequence, Tuple
+
+from repro.bench.reporting import format_table
+
+#: Columns of the per-job report, in display order.
+BATCH_REPORT_HEADERS: Sequence[str] = (
+    "job",
+    "device",
+    "status",
+    "time_ms",
+    "sm_util_%",
+    "hbm_gbps",
+    "power_w",
+    "ops",
+)
+
+
+def batch_report_rows(results: Iterable) -> List[List[object]]:
+    """One display row per :class:`~repro.service.batch.ReplayJobResult`."""
+    rows: List[List[object]] = []
+    for result in results:
+        if result.ok:
+            summary = result.summary
+            rows.append(
+                [
+                    result.job.label,
+                    result.job.config.device,
+                    "cached" if result.cached else "replayed",
+                    summary.mean_iteration_time_ms,
+                    summary.sm_utilization_pct,
+                    summary.hbm_bandwidth_gbps,
+                    summary.gpu_power_w,
+                    summary.replayed_ops,
+                ]
+            )
+        else:
+            rows.append(
+                [result.job.label, result.job.config.device, f"error: {result.error}",
+                 "-", "-", "-", "-", "-"]
+            )
+    return rows
+
+
+def format_batch_report(results: Iterable, title: str = "Batch replay results") -> str:
+    """Fixed-width text table over all job results."""
+    return format_table(BATCH_REPORT_HEADERS, batch_report_rows(results), title=title)
+
+
+def aggregate_by_device(results: Iterable) -> Dict[str, Dict[str, float]]:
+    """Mean measurements per device across all successful jobs.
+
+    Returns ``device -> {jobs, mean_time_ms, mean_sm_util_pct,
+    mean_power_w}``, the cross-platform comparison a sweep is usually after
+    (Figure 7 / Figure 10 style).
+    """
+    grouped: Dict[str, List] = {}
+    for result in results:
+        if result.ok:
+            grouped.setdefault(result.job.config.device, []).append(result.summary)
+    aggregated: Dict[str, Dict[str, float]] = {}
+    for device, summaries in grouped.items():
+        count = float(len(summaries))
+        aggregated[device] = {
+            "jobs": count,
+            "mean_time_ms": sum(s.mean_iteration_time_ms for s in summaries) / count,
+            "mean_sm_util_pct": sum(s.sm_utilization_pct for s in summaries) / count,
+            "mean_power_w": sum(s.gpu_power_w for s in summaries) / count,
+        }
+    return aggregated
+
+
+def format_device_aggregate(results: Iterable, title: str = "Per-device aggregate") -> str:
+    """Text table of :func:`aggregate_by_device`."""
+    aggregated = aggregate_by_device(results)
+    headers = ["device", "jobs", "mean_time_ms", "mean_sm_util_%", "mean_power_w"]
+    rows = [
+        [device, int(stats["jobs"]), stats["mean_time_ms"], stats["mean_sm_util_pct"],
+         stats["mean_power_w"]]
+        for device, stats in sorted(aggregated.items())
+    ]
+    return format_table(headers, rows, title=title)
+
+
+def cache_summary_line(batch) -> str:
+    """One-line cache/replay accounting for a finished batch."""
+    return (
+        f"{len(batch)} jobs: {batch.replayed_count} replayed, "
+        f"{batch.cached_count} from cache, {batch.error_count} failed"
+    )

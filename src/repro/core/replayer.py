@@ -14,8 +14,10 @@ emulation (through the communication-delay knobs).
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence
+import hashlib
+import json
+from dataclasses import asdict, dataclass, field
+from typing import Any, Dict, List, Optional, Sequence
 
 from repro.core.comms_replay import CommReplayManager
 from repro.core.reconstruction import OperatorReconstructor, ReconstructionError, ReconstructedOp
@@ -64,6 +66,52 @@ class ReplayConfig:
     comm_extra_delay_us: float = 0.0
     profile: bool = True
 
+    # ------------------------------------------------------------------
+    # Serialisation / identity
+    #
+    # The batch-orchestration layer (``repro.service``) keys its result
+    # cache on the pair (trace digest, config digest) and ships configs
+    # across process boundaries, so the config must round-trip through a
+    # canonical dict form and hash stably across interpreter runs.
+    # ------------------------------------------------------------------
+    def to_dict(self) -> Dict[str, Any]:
+        """Canonical JSON-serialisable form of this config.
+
+        Derived from the dataclass fields (``asdict`` recurses into the
+        nested embedding/interconnect dataclasses), so a field added later
+        is automatically part of the serialised form and the digest.
+        """
+        data = asdict(self)
+        if data.get("categories") is not None:
+            data["categories"] = list(data["categories"])
+        return data
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "ReplayConfig":
+        """Rebuild a config from :meth:`to_dict` output.
+
+        Unknown keys are ignored; *absent* keys keep their dataclass
+        defaults (so a partial dict never silently disables, say, the
+        embedding-value default).
+        """
+        known = {f for f in cls.__dataclass_fields__}  # type: ignore[attr-defined]
+        kwargs = {key: value for key, value in data.items() if key in known}
+        if isinstance(kwargs.get("embedding_config"), dict):
+            kwargs["embedding_config"] = EmbeddingValueConfig(**kwargs["embedding_config"])
+        if isinstance(kwargs.get("interconnect"), dict):
+            kwargs["interconnect"] = InterconnectSpec(**kwargs["interconnect"])
+        if kwargs.get("categories") is not None:
+            kwargs["categories"] = tuple(kwargs["categories"])
+        return cls(**kwargs)
+
+    def digest(self) -> str:
+        """Stable content hash of this config (hex SHA-256)."""
+        canonical = json.dumps(self.to_dict(), sort_keys=True, default=str)
+        return hashlib.sha256(canonical.encode("utf-8")).hexdigest()
+
+    def __hash__(self) -> int:
+        return hash(self.digest())
+
 
 @dataclass
 class ReplayPlan:
@@ -98,6 +146,65 @@ class ReplayResult:
     @property
     def mean_iteration_time_ms(self) -> float:
         return self.mean_iteration_time_us / 1e3
+
+    def summarize(self) -> "ReplayResultSummary":
+        """Compact, JSON/pickle-friendly view of this result.
+
+        The full :class:`ReplayResult` keeps the profiler trace and every
+        kernel launch; the summary carries only the scalar measurements the
+        batch layer caches and aggregates.
+        """
+        return ReplayResultSummary(
+            iteration_times_us=list(self.iteration_times_us),
+            replayed_ops=self.replayed_ops,
+            skipped_ops=self.skipped_ops,
+            count_coverage=self.coverage.count_coverage,
+            time_coverage=self.coverage.time_coverage,
+            execution_time_ms=self.system_metrics.execution_time_ms,
+            sm_utilization_pct=self.system_metrics.sm_utilization_pct,
+            hbm_bandwidth_gbps=self.system_metrics.hbm_bandwidth_gbps,
+            gpu_power_w=self.system_metrics.gpu_power_w,
+            kernel_count=self.timeline_stats.kernel_count,
+        )
+
+
+@dataclass
+class ReplayResultSummary:
+    """Scalar measurements of one replay, as cached/aggregated by the
+    batch-orchestration layer (:mod:`repro.service`)."""
+
+    iteration_times_us: List[float] = field(default_factory=list)
+    replayed_ops: int = 0
+    skipped_ops: int = 0
+    count_coverage: float = 0.0
+    time_coverage: float = 0.0
+    execution_time_ms: float = 0.0
+    sm_utilization_pct: float = 0.0
+    hbm_bandwidth_gbps: float = 0.0
+    gpu_power_w: float = 0.0
+    kernel_count: int = 0
+
+    @property
+    def mean_iteration_time_us(self) -> float:
+        if not self.iteration_times_us:
+            return 0.0
+        return sum(self.iteration_times_us) / len(self.iteration_times_us)
+
+    @property
+    def mean_iteration_time_ms(self) -> float:
+        return self.mean_iteration_time_us / 1e3
+
+    def to_dict(self) -> Dict[str, Any]:
+        data = asdict(self)
+        # Derived, but included for human-readable cache entries / CLI JSON;
+        # from_dict ignores it (not a field), so it can never diverge.
+        data["mean_iteration_time_us"] = self.mean_iteration_time_us
+        return data
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "ReplayResultSummary":
+        known = {f for f in cls.__dataclass_fields__}  # type: ignore[attr-defined]
+        return cls(**{key: value for key, value in data.items() if key in known})
 
 
 class Replayer:

@@ -9,6 +9,7 @@ execution order — the property Mystique's replayer relies on.
 
 from __future__ import annotations
 
+import hashlib
 import json
 from dataclasses import dataclass, field
 from pathlib import Path
@@ -136,6 +137,19 @@ class ExecutionTrace:
 
     def to_json(self, indent: Optional[int] = None) -> str:
         return json.dumps(self.to_dict(), indent=indent)
+
+    def canonical_json(self) -> str:
+        """Key-sorted, whitespace-free JSON form used for content hashing."""
+        return json.dumps(self.to_dict(), sort_keys=True, separators=(",", ":"), default=str)
+
+    def digest(self) -> str:
+        """Stable content hash of the trace (hex SHA-256).
+
+        Two traces with the same nodes and metadata produce the same digest
+        regardless of on-disk formatting; the trace repository and result
+        cache of :mod:`repro.service` key on this.
+        """
+        return hashlib.sha256(self.canonical_json().encode("utf-8")).hexdigest()
 
     @classmethod
     def from_json(cls, text: str) -> "ExecutionTrace":

@@ -1,0 +1,111 @@
+"""Content-addressed result cache for batch replays.
+
+A replay is a pure function of (execution trace, :class:`ReplayConfig`): the
+simulated runtime is deterministic, so a result computed once never needs to
+be recomputed.  The cache keys each entry on the SHA-256 of the pair
+``(trace digest, config digest)`` and stores one JSON file per entry under a
+cache directory, which makes it safe to share between processes — workers in
+a process pool and repeated CLI invocations all see the same entries.
+
+Only the compact :class:`~repro.core.replayer.ReplayResultSummary` is
+cached, not the full profiler trace; sweeps aggregate scalar measurements.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+from pathlib import Path
+from typing import Any, Dict, List, Optional, Union
+
+from repro.core.replayer import ReplayConfig, ReplayResultSummary
+from repro.version import __version__
+
+#: Bumped whenever the cached payload shape changes; part of every key so a
+#: format change naturally invalidates old entries.
+CACHE_FORMAT_VERSION = "1"
+
+
+def cache_key(trace_digest: str, config: ReplayConfig) -> str:
+    """Deterministic cache key for one (trace, config) replay.
+
+    The package version is part of the key: replay results depend on the
+    replayer/cost-model code, so a new release naturally invalidates every
+    entry instead of silently serving numbers computed by old code.
+    """
+    payload = f"{CACHE_FORMAT_VERSION}:{__version__}:{trace_digest}:{config.digest()}"
+    return hashlib.sha256(payload.encode("utf-8")).hexdigest()
+
+
+class ResultCache:
+    """Directory-backed cache of replay result summaries."""
+
+    def __init__(self, root: Union[str, Path]) -> None:
+        self.root = Path(root)
+        self.hits = 0
+        self.misses = 0
+
+    # ------------------------------------------------------------------
+    def _path(self, key: str) -> Path:
+        return self.root / f"{key}.json"
+
+    def get(self, key: str) -> Optional[ReplayResultSummary]:
+        """Cached summary for ``key``, or ``None`` (counts hit/miss)."""
+        path = self._path(key)
+        try:
+            data = json.loads(path.read_text())
+            summary = ReplayResultSummary.from_dict(data["summary"])
+        except (OSError, json.JSONDecodeError, KeyError, TypeError):
+            self.misses += 1
+            return None
+        self.hits += 1
+        return summary
+
+    def put(
+        self,
+        key: str,
+        summary: ReplayResultSummary,
+        trace_digest: str = "",
+        config: Optional[ReplayConfig] = None,
+        extra: Optional[Dict[str, Any]] = None,
+    ) -> Path:
+        """Store a summary under ``key`` along with provenance metadata."""
+        self.root.mkdir(parents=True, exist_ok=True)
+        entry: Dict[str, Any] = {
+            "format": CACHE_FORMAT_VERSION,
+            "key": key,
+            "trace_digest": trace_digest,
+            "config": config.to_dict() if config is not None else None,
+            "summary": summary.to_dict(),
+        }
+        if extra:
+            entry["extra"] = extra
+        path = self._path(key)
+        # Atomic write: concurrent invocations sharing the cache directory
+        # must never observe a partially written entry.
+        tmp = path.with_suffix(f".tmp-{os.getpid()}")
+        tmp.write_text(json.dumps(entry, indent=2, default=str))
+        os.replace(tmp, path)
+        return path
+
+    def contains(self, key: str) -> bool:
+        """True when an entry exists (does not count as a hit or miss)."""
+        return self._path(key).is_file()
+
+    # ------------------------------------------------------------------
+    def keys(self) -> List[str]:
+        if not self.root.is_dir():
+            return []
+        return sorted(path.stem for path in self.root.glob("*.json"))
+
+    def __len__(self) -> int:
+        return len(self.keys())
+
+    def clear(self) -> int:
+        """Delete every entry; returns how many were removed."""
+        removed = 0
+        for key in self.keys():
+            self._path(key).unlink()
+            removed += 1
+        return removed

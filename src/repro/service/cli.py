@@ -1,0 +1,246 @@
+"""``python -m repro`` — the batch orchestration command line.
+
+Three subcommands drive the service layer:
+
+``list-traces``
+    Discover and validate the traces in a repository directory.
+``replay``
+    Replay one or more traces under a single configuration, through the
+    worker pool and the result cache.
+``sweep``
+    Cross product of traces x devices x config axes (power limits,
+    communication-delay scales, iterations ...), batched and cached.
+
+Examples
+--------
+::
+
+    python -m repro list-traces --repo traces/
+    python -m repro replay --repo traces/ --trace rm_et --device A100 -n 3
+    python -m repro sweep --repo traces/ --device A100 --device NewPlatform \\
+        --power-limit 250 --power-limit 400 --cache .repro-cache --workers 4
+
+Every command exits 0 on success, 1 when any job failed, and 2 on usage
+errors (argparse's convention).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from typing import List, Optional, Sequence
+
+from repro.bench.aggregate import cache_summary_line, format_batch_report, format_device_aggregate
+from repro.bench.reporting import format_table
+from repro.core.replayer import ReplayConfig
+from repro.service.batch import BACKENDS, BatchReplayer
+from repro.service.cache import ResultCache
+from repro.service.repository import TraceRepository
+from repro.service.sweep import SweepRunner, SweepSpec
+from repro.version import __version__
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Batch replay orchestration for Mystique execution traces.",
+    )
+    parser.add_argument("--version", action="version", version=f"repro {__version__}")
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    list_parser = subparsers.add_parser(
+        "list-traces", help="discover and validate traces in a repository directory"
+    )
+    _add_repo_argument(list_parser)
+    list_parser.add_argument("--json", action="store_true", help="emit JSON instead of a table")
+
+    replay_parser = subparsers.add_parser(
+        "replay", help="replay traces under one configuration"
+    )
+    _add_repo_argument(replay_parser)
+    _add_pool_arguments(replay_parser)
+    replay_parser.add_argument(
+        "--trace", action="append", default=None, metavar="NAME",
+        help="trace name to replay (repeatable; default: every trace in the repo)",
+    )
+    replay_parser.add_argument("--device", default="A100", help="device spec name (default: A100)")
+    _add_config_arguments(replay_parser)
+    replay_parser.add_argument("--json", action="store_true", help="emit JSON instead of a table")
+
+    sweep_parser = subparsers.add_parser(
+        "sweep", help="cross-device / cross-config sweep over a trace repository"
+    )
+    _add_repo_argument(sweep_parser)
+    _add_pool_arguments(sweep_parser)
+    sweep_parser.add_argument(
+        "--trace", action="append", default=None, metavar="NAME",
+        help="trace name to include (repeatable; default: every trace in the repo)",
+    )
+    sweep_parser.add_argument(
+        "--device", action="append", default=None, metavar="NAME",
+        help="device to sweep over (repeatable; default: A100)",
+    )
+    sweep_parser.add_argument(
+        "--power-limit", action="append", default=None, type=float, metavar="WATTS",
+        help="power-limit axis value (repeatable)",
+    )
+    sweep_parser.add_argument(
+        "--comm-delay-scale", action="append", default=None, type=float, metavar="FACTOR",
+        help="communication-delay scale axis value (repeatable; scale-down emulation)",
+    )
+    _add_config_arguments(sweep_parser)
+    sweep_parser.add_argument("--json", action="store_true", help="emit JSON instead of tables")
+
+    return parser
+
+
+def _add_repo_argument(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--repo", required=True, metavar="DIR",
+        help="trace repository directory (searched recursively for *.json traces)",
+    )
+
+
+def _add_pool_arguments(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--cache", default=None, metavar="DIR",
+        help="result-cache directory; repeated invocations skip completed replays",
+    )
+    parser.add_argument(
+        "--workers", type=int, default=None, metavar="N",
+        help="worker-pool size (default: min(8, cpu count))",
+    )
+    parser.add_argument(
+        "--backend", choices=BACKENDS, default="thread",
+        help="worker-pool backend (default: thread)",
+    )
+
+
+def _add_config_arguments(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "-n", "--iterations", type=int, default=1, help="replay iterations (default: 1)"
+    )
+    parser.add_argument(
+        "--warmup", type=int, default=0, help="unmeasured warm-up iterations (default: 0)"
+    )
+
+
+# ----------------------------------------------------------------------
+# Subcommand implementations
+# ----------------------------------------------------------------------
+def _cmd_list_traces(args: argparse.Namespace) -> int:
+    repository = TraceRepository(args.repo)
+    records = repository.discover()
+    if args.json:
+        payload = {
+            "traces": [
+                {
+                    "name": record.name,
+                    "path": str(record.path),
+                    "digest": record.digest,
+                    "nodes": record.num_nodes,
+                    "operators": record.num_operators,
+                    "workload": record.workload,
+                    "world_size": record.world_size,
+                }
+                for record in records
+            ],
+            "invalid": {str(path): reason for path, reason in sorted(repository.invalid.items())},
+        }
+        print(json.dumps(payload, indent=2))
+        return 0
+    headers = ["name", "workload", "nodes", "operators", "world_size", "digest"]
+    rows = [
+        [record.name, record.workload or "-", record.num_nodes, record.num_operators,
+         record.world_size, record.digest[:12]]
+        for record in records
+    ]
+    print(format_table(headers, rows, title=f"Traces in {repository.root}"))
+    if repository.invalid:
+        print(f"\nskipped {len(repository.invalid)} non-trace file(s):")
+        for path, reason in sorted(repository.invalid.items()):
+            print(f"  {path}: {reason}")
+    return 0
+
+
+def _make_replayer(args: argparse.Namespace) -> BatchReplayer:
+    cache = ResultCache(args.cache) if args.cache else None
+    return BatchReplayer(cache=cache, max_workers=args.workers, backend=args.backend)
+
+
+def _cmd_replay(args: argparse.Namespace) -> int:
+    spec = SweepSpec(
+        traces=args.trace,
+        devices=[args.device],
+        base=ReplayConfig(iterations=args.iterations, warmup_iterations=args.warmup),
+    )
+    return _run_sweep(args, spec)
+
+
+def _cmd_sweep(args: argparse.Namespace) -> int:
+    axes = {}
+    if args.power_limit:
+        axes["power_limit_w"] = list(args.power_limit)
+    if args.comm_delay_scale:
+        axes["comm_delay_scale"] = list(args.comm_delay_scale)
+    spec = SweepSpec(
+        traces=args.trace,
+        devices=args.device or ["A100"],
+        axes=axes,
+        base=ReplayConfig(iterations=args.iterations, warmup_iterations=args.warmup),
+    )
+    return _run_sweep(args, spec)
+
+
+def _run_sweep(args: argparse.Namespace, spec: SweepSpec) -> int:
+    repository = TraceRepository(args.repo)
+    runner = SweepRunner(repository, replayer=_make_replayer(args))
+    try:
+        result = runner.run(spec)
+    except (ValueError, KeyError) as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 1
+    batch = result.batch
+    if args.json:
+        payload = {
+            "jobs": [
+                {
+                    "label": job_result.job.label,
+                    "trace": job_result.job.trace_name,
+                    "device": job_result.job.config.device,
+                    "cached": job_result.cached,
+                    "error": job_result.error,
+                    "summary": job_result.summary.to_dict() if job_result.summary else None,
+                }
+                for job_result in batch
+            ],
+            "replayed": batch.replayed_count,
+            "cached": batch.cached_count,
+            "failed": batch.error_count,
+        }
+        print(json.dumps(payload, indent=2))
+    else:
+        print(format_batch_report(batch))
+        if len({job_result.job.config.device for job_result in batch}) > 1:
+            print()
+            print(format_device_aggregate(batch))
+        print()
+        print(cache_summary_line(batch))
+    return 1 if batch.error_count else 0
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    handlers = {
+        "list-traces": _cmd_list_traces,
+        "replay": _cmd_replay,
+        "sweep": _cmd_sweep,
+    }
+    return handlers[args.command](args)
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via python -m repro
+    sys.exit(main())

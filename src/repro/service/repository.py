@@ -1,0 +1,180 @@
+"""Trace repository: discovery, validation and loading of serialised traces.
+
+A repository is a directory of execution traces serialised as JSON by
+:meth:`repro.et.trace.ExecutionTrace.save` (the same files
+:class:`repro.core.generator.BenchmarkGenerator` emits next to generated
+benchmarks).  Discovery walks the directory, validates each candidate file
+against the ET schema, and produces lightweight :class:`TraceRecord` entries
+— path, content digest, node counts, metadata — without keeping the full
+traces in memory.  Files that parse as JSON but are not execution traces
+(for instance the profiler traces the generator writes alongside) are
+skipped and reported in :attr:`TraceRepository.invalid`.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Dict, Iterator, List, Optional, Union
+
+from repro.et.schema import ETNode
+from repro.et.trace import ExecutionTrace
+
+
+class TraceValidationError(Exception):
+    """A file under the repository root is not a valid execution trace."""
+
+
+@dataclass
+class TraceRecord:
+    """One discovered trace: everything the batch layer needs to schedule a
+    replay without loading the full trace."""
+
+    name: str
+    path: Path
+    digest: str
+    num_nodes: int
+    num_operators: int
+    schema_version: str
+    metadata: Dict[str, Any] = field(default_factory=dict)
+
+    @property
+    def workload(self) -> str:
+        return str(self.metadata.get("workload", ""))
+
+    @property
+    def world_size(self) -> int:
+        return int(self.metadata.get("world_size", 1))
+
+
+class TraceRepository:
+    """Discovers and loads execution traces under a directory tree.
+
+    Parameters
+    ----------
+    root:
+        Directory to scan.  It is created on demand by :meth:`add`.
+    pattern:
+        Glob applied recursively under ``root`` (default ``*.json``).
+    """
+
+    def __init__(self, root: Union[str, Path], pattern: str = "*.json") -> None:
+        self.root = Path(root)
+        self.pattern = pattern
+        #: path -> reason, for files matching the pattern that failed
+        #: validation during the last :meth:`discover`.
+        self.invalid: Dict[Path, str] = {}
+        self._records: Optional[List[TraceRecord]] = None
+
+    # ------------------------------------------------------------------
+    # Discovery
+    # ------------------------------------------------------------------
+    def discover(self, refresh: bool = False) -> List[TraceRecord]:
+        """Scan the root and return all valid trace records, sorted by name.
+
+        Results are memoised; pass ``refresh=True`` to re-scan after files
+        changed on disk.
+        """
+        if self._records is not None and not refresh:
+            return list(self._records)
+        records: List[TraceRecord] = []
+        self.invalid = {}
+        if self.root.is_dir():
+            for path in sorted(self.root.rglob(self.pattern)):
+                if not path.is_file():
+                    continue
+                # Hidden files/directories (.cache, .git ...) are never traces.
+                relative = path.relative_to(self.root)
+                if any(part.startswith(".") for part in relative.parts):
+                    continue
+                try:
+                    records.append(self._record_for(path))
+                except TraceValidationError as error:
+                    self.invalid[path] = str(error)
+        self._records = records
+        return list(records)
+
+    def _record_for(self, path: Path) -> TraceRecord:
+        try:
+            data = json.loads(path.read_text())
+        except (OSError, json.JSONDecodeError) as error:
+            raise TraceValidationError(f"unreadable JSON: {error}") from error
+        trace = decode_trace_dict(data)
+        return TraceRecord(
+            name=self._name_for(path),
+            path=path,
+            digest=trace.digest(),
+            num_nodes=len(trace),
+            num_operators=len(trace.operators()),
+            schema_version=str(data.get("schema", "")),
+            metadata=dict(trace.metadata),
+        )
+
+    def _name_for(self, path: Path) -> str:
+        relative = path.relative_to(self.root)
+        return str(relative.with_suffix("")).replace("\\", "/")
+
+    # ------------------------------------------------------------------
+    # Access
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self.discover())
+
+    def __iter__(self) -> Iterator[TraceRecord]:
+        return iter(self.discover())
+
+    def names(self) -> List[str]:
+        return [record.name for record in self.discover()]
+
+    def get(self, name: str) -> TraceRecord:
+        """Record for ``name`` (the path under the root, without ``.json``)."""
+        for record in self.discover():
+            if record.name == name:
+                return record
+        raise KeyError(f"no trace named {name!r} in {self.root}; known: {self.names()}")
+
+    def load(self, name_or_record: Union[str, TraceRecord]) -> ExecutionTrace:
+        """Load the full execution trace for a name or record."""
+        record = name_or_record if isinstance(name_or_record, TraceRecord) else self.get(name_or_record)
+        return ExecutionTrace.load(record.path)
+
+    def add(self, name: str, trace: ExecutionTrace) -> TraceRecord:
+        """Serialise ``trace`` into the repository and return its record."""
+        path = self.root / f"{name}.json"
+        trace.save(path)
+        self._records = None  # force re-discovery
+        return self._record_for(path)
+
+
+def decode_trace_dict(data: Any) -> ExecutionTrace:
+    """Validate and decode a serialised execution trace in one pass.
+
+    Raises :class:`TraceValidationError` unless ``data`` is the
+    ``et.schema`` Table 2 shape; each node is decoded exactly once.
+    """
+    if not isinstance(data, dict):
+        raise TraceValidationError("top-level JSON value is not an object")
+    raw_nodes = data.get("nodes")
+    if not isinstance(raw_nodes, list) or not raw_nodes:
+        raise TraceValidationError("missing or empty 'nodes' array")
+    nodes = []
+    for index, entry in enumerate(raw_nodes):
+        if not isinstance(entry, dict):
+            raise TraceValidationError(f"node {index} is not an object")
+        missing = {"name", "id", "parent"} - set(entry)
+        if missing:
+            raise TraceValidationError(
+                f"node {index} is missing required keys: {sorted(missing)}"
+            )
+        try:
+            nodes.append(ETNode.from_dict(entry))
+        except (KeyError, TypeError, ValueError) as error:
+            raise TraceValidationError(f"node {index} failed to decode: {error}") from error
+    return ExecutionTrace(nodes=nodes, metadata=dict(data.get("metadata", {})))
+
+
+def validate_trace_dict(data: Any) -> None:
+    """Raise :class:`TraceValidationError` unless ``data`` is a serialised
+    execution trace (the ``et.schema`` Table 2 shape)."""
+    decode_trace_dict(data)
