@@ -14,6 +14,7 @@ bench:
 lint:
 	$(PYTHON) -m compileall -q src tests benchmarks examples
 	$(PYTHON) -m repro --version
+	$(PYTHON) scripts/check_deprecated_usage.py
 
 example-sweep:
 	$(PYTHON) examples/batch_sweep.py

@@ -1,12 +1,14 @@
 #!/usr/bin/env python3
 """Quickstart: capture a workload's execution trace and replay it as a benchmark.
 
-This walks the whole Mystique pipeline on the PARAM linear workload:
+This walks the whole Mystique pipeline on the PARAM linear workload, driven
+entirely through the public :mod:`repro.api` facade:
 
 1. run the model with the ExecutionGraphObserver and profiler hooks attached
    and capture one training iteration (Section 4.1 of the paper),
-2. replay the captured traces as a generated benchmark and compare its
-   execution time and system-level metrics against the original,
+2. replay the captured traces as a generated benchmark — fluently, through
+   the stage pipeline, with a progress hook watching each stage — and
+   compare its execution time and system-level metrics against the original,
 3. emit a standalone benchmark program plus its trace files, which can be
    run on its own (``python generated/param_linear_benchmark.py``).
 
@@ -15,9 +17,8 @@ Run with:  python examples/quickstart.py
 
 from pathlib import Path
 
-from repro.bench.harness import capture_workload, replay_capture
+import repro.api as api
 from repro.core.generator import BenchmarkGenerator
-from repro.core.replayer import ReplayConfig
 from repro.workloads.param_linear import ParamLinearConfig, ParamLinearWorkload
 
 
@@ -29,13 +30,13 @@ def main() -> None:
     )
 
     print("== 1. capture one training iteration on the simulated A100 ==")
-    capture = capture_workload(workload, device="A100", warmup_iterations=1)
+    capture = api.capture(workload, device="A100", warmup_iterations=1)
     print(f"   execution-trace nodes : {len(capture.execution_trace)}")
     print(f"   GPU kernels captured  : {len(capture.profiler_trace.kernels())}")
     print(f"   iteration time        : {capture.iteration_time_us / 1e3:.2f} ms")
 
     print("== 2. replay the trace as a generated benchmark ==")
-    replay = replay_capture(capture, config=ReplayConfig(device="A100", iterations=3))
+    replay = api.replay(capture).on("A100").iterations(3).run()
     error = abs(replay.mean_iteration_time_us - capture.iteration_time_us) / capture.iteration_time_us
     print(f"   replayed operators    : {replay.replayed_ops // 3} per iteration")
     print(f"   replay time           : {replay.mean_iteration_time_ms:.2f} ms  (error {error * 100:.1f}%)")
@@ -48,7 +49,7 @@ def main() -> None:
 
     print("== 3. emit a standalone benchmark program ==")
     output_dir = Path(__file__).resolve().parent / "generated"
-    artifacts = BenchmarkGenerator(ReplayConfig(device="A100", iterations=5)).write(
+    artifacts = BenchmarkGenerator(api.ReplayConfig(device="A100", iterations=5)).write(
         output_dir, workload.name, capture.execution_trace, capture.profiler_trace
     )
     print(f"   benchmark script      : {artifacts.script_path}")

@@ -1,0 +1,52 @@
+#!/usr/bin/env python3
+"""CI guard: the deprecated ``Replayer`` entry point must not be used
+inside ``src/`` outside its own shim module.
+
+Every replay in the package goes through ``repro.core.pipeline.ReplayPipeline``
+(usually via the ``repro.api`` facade); ``Replayer`` exists only for external
+back-compat.  This check fails when any ``src/`` module other than the shim
+instantiates it, so deprecated usage cannot creep back into the codebase.
+
+Run from the repository root (``make lint`` does).  Exit code 0 when clean,
+1 with a file:line listing otherwise.
+"""
+
+from __future__ import annotations
+
+import re
+import sys
+from pathlib import Path
+
+SRC = Path("src")
+SHIM = SRC / "repro" / "core" / "replayer.py"
+#: Instantiation of the deprecated class.  Word boundary keeps subclasses
+#: and wrappers like ``BatchReplayer(`` out of scope.
+PATTERN = re.compile(r"\bReplayer\(")
+
+
+def main() -> int:
+    if not SRC.is_dir():
+        print("check_deprecated_usage: run from the repository root", file=sys.stderr)
+        return 2
+    offenders = []
+    for path in sorted(SRC.rglob("*.py")):
+        if path == SHIM:
+            continue
+        for lineno, line in enumerate(path.read_text().splitlines(), start=1):
+            if PATTERN.search(line):
+                offenders.append(f"{path}:{lineno}: {line.strip()}")
+    if offenders:
+        print(
+            "deprecated Replayer used directly inside src/ (use repro.api or "
+            "repro.core.pipeline.ReplayPipeline instead):",
+            file=sys.stderr,
+        )
+        for offender in offenders:
+            print(f"  {offender}", file=sys.stderr)
+        return 1
+    print("check_deprecated_usage: OK (no direct Replayer use outside the shim)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

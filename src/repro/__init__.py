@@ -35,6 +35,12 @@ The package is organised into:
     Batch replay orchestration: a trace repository, a content-addressed
     result cache, a ``concurrent.futures`` worker pool, declarative
     cross-device sweeps, and the ``python -m repro`` CLI.
+
+``repro.api``
+    The stable public facade: ``replay()`` (a fluent session over the
+    stage pipeline), ``capture()``, ``compare()`` and ``sweep()``, plus
+    the stage/hook protocol and ready-made hooks.  Start here:
+    ``import repro.api as api``.
 """
 
 from repro.version import __version__

@@ -1,0 +1,231 @@
+"""The fluent replay session builder behind :func:`repro.api.replay`.
+
+A :class:`ReplaySession` accumulates *what* to replay (a trace, a capture,
+or a path to a serialised trace), *how* to replay it (a
+:class:`~repro.core.replayer.ReplayConfig`, built up field by field), and
+*who gets to watch or change it* (hooks, stage edits), then runs the stage
+pipeline::
+
+    result = (
+        api.replay(trace)
+        .on("A100")
+        .select(categories=("aten",))
+        .iterations(5, warmup=1)
+        .hook(ProgressHook())
+        .run()
+    )
+
+Every mutator returns ``self`` so calls chain; nothing executes until
+:meth:`run` (or :meth:`summarize`).  A session owns a private pipeline
+clone, so stage edits never leak into other sessions.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace as dataclass_replace
+from pathlib import Path
+from typing import Any, Optional, Sequence, Union
+
+from repro.core.pipeline import ReplayContext, ReplayHook, ReplayPipeline, ReplayStage
+from repro.core.registry import ReplaySupport
+from repro.core.replayer import ReplayConfig, ReplayResult, ReplayResultSummary
+from repro.et.trace import ExecutionTrace
+from repro.torchsim.profiler import ProfilerTrace
+from repro.torchsim.runtime import Runtime
+
+#: What :func:`repro.api.replay` accepts as a replay source.
+ReplaySource = Union[ExecutionTrace, str, Path, "CaptureResult"]  # noqa: F821
+
+
+class ReplaySession:
+    """Fluent builder for one replay through the stage pipeline."""
+
+    def __init__(
+        self,
+        source: ReplaySource,
+        profiler_trace: Optional[ProfilerTrace] = None,
+        config: Optional[ReplayConfig] = None,
+        support: Optional[ReplaySupport] = None,
+        pipeline: Optional[ReplayPipeline] = None,
+    ) -> None:
+        # Paths are resolved lazily (nothing is read until run time); other
+        # sources are normalised now so type errors fail fast.
+        self._trace_path: Optional[Path] = None
+        if isinstance(source, (str, Path)):
+            self._trace_path = Path(source)
+            trace, inferred_profiler, inferred_device = None, None, None
+        else:
+            trace, inferred_profiler, inferred_device = _resolve_source(source)
+        self._trace = trace
+        self._profiler_trace = profiler_trace if profiler_trace is not None else inferred_profiler
+        if config is None:
+            config = ReplayConfig(device=inferred_device) if inferred_device else ReplayConfig()
+        self._config = config
+        self._support = support
+        self._pipeline = (pipeline if pipeline is not None else ReplayPipeline.default()).clone()
+        self._runtime: Optional[Runtime] = None
+
+    # ------------------------------------------------------------------
+    # Configuration
+    # ------------------------------------------------------------------
+    @property
+    def config(self) -> ReplayConfig:
+        """The config the session will replay under (read-only snapshot)."""
+        return self._config
+
+    def using(self, config: ReplayConfig) -> "ReplaySession":
+        """Replace the whole config (later field mutators still apply)."""
+        self._config = config
+        return self
+
+    def configure(self, **fields: Any) -> "ReplaySession":
+        """Override arbitrary :class:`ReplayConfig` fields by name.
+
+        Unknown field names raise ``TypeError`` — a typo never silently
+        vanishes into a default config.
+        """
+        self._config = dataclass_replace(self._config, **fields)
+        return self
+
+    def on(self, device: str) -> "ReplaySession":
+        """Target device spec (``"A100"``, ``"V100"``, ``"NewPlatform"`` …)."""
+        return self.configure(device=device)
+
+    def select(
+        self,
+        categories: Optional[Sequence[str]] = None,
+        subtrace: Optional[str] = None,
+    ) -> "ReplaySession":
+        """Restrict replay to operator categories and/or a subtrace label."""
+        overrides: dict = {}
+        if categories is not None:
+            overrides["categories"] = tuple(categories)
+        if subtrace is not None:
+            overrides["subtrace_label"] = subtrace
+        return self.configure(**overrides)
+
+    def iterations(self, count: int, warmup: Optional[int] = None) -> "ReplaySession":
+        """Measured iteration count (and optionally the warm-up count)."""
+        overrides: dict = {"iterations": count}
+        if warmup is not None:
+            overrides["warmup_iterations"] = warmup
+        return self.configure(**overrides)
+
+    def power_limit(self, watts: Optional[float]) -> "ReplaySession":
+        """GPU power cap in Watts (``None`` for the device's TDP)."""
+        return self.configure(power_limit_w=watts)
+
+    def with_support(self, support: ReplaySupport) -> "ReplaySession":
+        """Replay-support policy (custom-operator registrations)."""
+        self._support = support
+        return self
+
+    def with_profiler(self, profiler_trace: Optional[ProfilerTrace]) -> "ReplaySession":
+        """Profiler trace guiding stream placement (``None`` to drop it)."""
+        self._profiler_trace = profiler_trace
+        return self
+
+    def with_runtime(self, runtime: Runtime) -> "ReplaySession":
+        """Inject a pre-built runtime instead of letting the init-comms
+        stage create one (advanced; e.g. to share a simulated cluster)."""
+        self._runtime = runtime
+        return self
+
+    # ------------------------------------------------------------------
+    # Observation and stage composition
+    # ------------------------------------------------------------------
+    def hook(self, *hooks: ReplayHook) -> "ReplaySession":
+        """Register lifecycle/per-op hooks on this session's pipeline."""
+        for one in hooks:
+            self._pipeline.add_hook(one)
+        return self
+
+    def insert_stage(
+        self,
+        stage: ReplayStage,
+        before: Optional[str] = None,
+        after: Optional[str] = None,
+    ) -> "ReplaySession":
+        """Insert a custom stage relative to a named one."""
+        if (before is None) == (after is None):
+            raise ValueError("pass exactly one of before= / after=")
+        if before is not None:
+            self._pipeline.insert_before(before, stage)
+        else:
+            self._pipeline.insert_after(after, stage)
+        return self
+
+    def replace_stage(self, name: str, stage: ReplayStage) -> "ReplaySession":
+        """Swap the named stage for a custom implementation."""
+        self._pipeline.replace(name, stage)
+        return self
+
+    def without_stage(self, *names: str) -> "ReplaySession":
+        """Drop the named stages.
+
+        A pipeline without the measure stage produces no result — execute
+        it with :meth:`run_context` (a dry build) rather than :meth:`run`.
+        """
+        self._pipeline.skip(*names)
+        return self
+
+    @property
+    def pipeline(self) -> ReplayPipeline:
+        """This session's private pipeline (for advanced composition)."""
+        return self._pipeline
+
+    # ------------------------------------------------------------------
+    # Execution
+    # ------------------------------------------------------------------
+    def build_context(self) -> ReplayContext:
+        """The context :meth:`run` would thread through the pipeline.
+
+        A path source is loaded here (first call), not at construction.
+        """
+        if self._trace is None:
+            self._trace = ExecutionTrace.load(self._trace_path)
+        return ReplayContext(
+            trace=self._trace,
+            profiler_trace=self._profiler_trace,
+            config=self._config,
+            support=self._support,
+            runtime=self._runtime,
+        )
+
+    def run(self) -> ReplayResult:
+        """Execute the pipeline and return the full measurement."""
+        return self._pipeline.run(self.build_context())
+
+    def run_context(self) -> ReplayContext:
+        """Execute the pipeline and return the threaded context.
+
+        Unlike :meth:`run`, no final result is demanded — the entry point
+        for partial pipelines (e.g. ``.without_stage("measure")`` dry
+        builds, or build-phase-only inspection).
+        """
+        return self._pipeline.run_context(self.build_context())
+
+    def summarize(self) -> ReplayResultSummary:
+        """Execute and return only the compact, cacheable summary."""
+        return self.run().summarize()
+
+
+def _resolve_source(source: ReplaySource):
+    """Normalise a non-path replay source to (trace, profiler trace or
+    None, device hint or None).  Paths never reach here — the session
+    stores them and loads lazily in :meth:`ReplaySession.build_context`."""
+    if isinstance(source, ExecutionTrace):
+        return source, None, None
+    # A bench-harness CaptureResult carries the trace, the profiler trace
+    # and the capture device; duck-typed so api does not force the import.
+    trace = getattr(source, "execution_trace", None)
+    if isinstance(trace, ExecutionTrace):
+        return (
+            trace,
+            getattr(source, "profiler_trace", None),
+            getattr(source, "device", None),
+        )
+    raise TypeError(
+        "repro.api.replay() expects an ExecutionTrace, a CaptureResult, or a "
+        f"path to a serialised trace; got {type(source).__name__}"
+    )

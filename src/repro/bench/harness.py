@@ -17,8 +17,9 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional
 
+from repro.core.pipeline import ReplayHook, ReplayPipeline, run_replay
 from repro.core.registry import ReplaySupport
-from repro.core.replayer import ReplayConfig, Replayer, ReplayResult
+from repro.core.replayer import ReplayConfig, ReplayResult
 from repro.core.selection import OperatorSelector
 from repro.et.trace import ExecutionTrace
 from repro.hardware.counters import SystemMetrics, compute_system_metrics
@@ -171,11 +172,23 @@ def replay_capture(
     capture: CaptureResult,
     config: Optional[ReplayConfig] = None,
     support: Optional[ReplaySupport] = None,
+    hooks: Optional[List[ReplayHook]] = None,
+    pipeline: Optional[ReplayPipeline] = None,
 ) -> ReplayResult:
-    """Replay a captured iteration as a generated benchmark."""
+    """Replay a captured iteration as a generated benchmark.
+
+    Runs through the stage pipeline; pass ``hooks`` to observe the replay
+    or ``pipeline`` to customise its stages.
+    """
     config = config if config is not None else ReplayConfig(device=capture.device)
-    replayer = Replayer(capture.execution_trace, capture.profiler_trace, config, support=support)
-    return replayer.run()
+    return run_replay(
+        capture.execution_trace,
+        config=config,
+        profiler_trace=capture.profiler_trace,
+        support=support,
+        hooks=hooks,
+        pipeline=pipeline,
+    )
 
 
 def unsupported_gpu_time_us(capture: CaptureResult, support: Optional[ReplaySupport] = None) -> float:

@@ -14,12 +14,18 @@ The pipeline follows Figure 3 of the paper:
    communication-operator replay helpers.
 6. :mod:`~repro.core.streams` — operator-to-stream assignment extracted
    from the profiler trace.
-7. :mod:`~repro.core.replayer` — the ET replayer that executes the plan and
-   measures the generated benchmark.
-8. :mod:`~repro.core.generator` — emission of a standalone benchmark
+7. :mod:`~repro.core.pipeline` — the stage pipeline (``SelectStage`` …
+   ``MeasureStage``) composed by a :class:`~repro.core.pipeline.ReplayPipeline`
+   that threads a :class:`~repro.core.pipeline.ReplayContext` between stages
+   and emits lifecycle events to registered hooks.
+8. :mod:`~repro.core.replayer` — the replay configuration and results, plus
+   the deprecated ``Replayer`` shim over the pipeline.
+9. :mod:`~repro.core.generator` — emission of a standalone benchmark
    program.
-9. :mod:`~repro.core.scaledown` — scaled-down performance emulation
-   (Section 7.3).
+10. :mod:`~repro.core.scaledown` — scaled-down performance emulation
+    (Section 7.3).
+
+The public, composable entry point is the :mod:`repro.api` facade.
 """
 
 from repro.core.registry import ReplaySupport
@@ -28,12 +34,41 @@ from repro.core.reconstruction import OperatorReconstructor, ReconstructionError
 from repro.core.tensors import TensorManager, EmbeddingValueConfig
 from repro.core.comms_replay import CommReplayManager
 from repro.core.streams import StreamAssigner
-from repro.core.replayer import Replayer, ReplayConfig, ReplayResult
+from repro.core.replayer import Replayer, ReplayConfig, ReplayResult, ReplayResultSummary
+from repro.core.pipeline import (
+    AssignStreamsStage,
+    ExecuteStage,
+    InitCommsStage,
+    MaterializeTensorsStage,
+    MeasureStage,
+    ReconstructStage,
+    ReplayContext,
+    ReplayHook,
+    ReplayPipeline,
+    ReplayPipelineError,
+    ReplayStage,
+    SelectStage,
+    run_replay,
+)
 from repro.core.generator import BenchmarkGenerator
 from repro.core.scaledown import ScaleDownConfig, ScaleDownEmulator
 
 __all__ = [
     "ReplaySupport",
+    "ReplayContext",
+    "ReplayHook",
+    "ReplayPipeline",
+    "ReplayPipelineError",
+    "ReplayStage",
+    "run_replay",
+    "SelectStage",
+    "ReconstructStage",
+    "MaterializeTensorsStage",
+    "AssignStreamsStage",
+    "InitCommsStage",
+    "ExecuteStage",
+    "MeasureStage",
+    "ReplayResultSummary",
     "OperatorSelector",
     "SelectionResult",
     "ReplayPlanEntry",

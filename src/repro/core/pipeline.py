@@ -1,0 +1,556 @@
+"""The replay stage pipeline.
+
+One replay (Section 4 of the paper) is a sequence of well-defined steps:
+select the operators to replay, reconstruct a callable per operator,
+materialise the tensors they need, re-create the recorded stream placement,
+initialise the (possibly distributed) runtime, execute the operators in the
+recorded order, and measure the run.  Historically those steps were fused
+inside :meth:`repro.core.replayer.Replayer.run`; this module breaks them
+into first-class stage objects with a common protocol, composed by a
+:class:`ReplayPipeline` that threads a typed :class:`ReplayContext` between
+them.
+
+The pipeline is the single replay implementation in the package — the
+legacy :class:`~repro.core.replayer.Replayer` is a thin deprecated shim
+over it, and the public entry point is the :mod:`repro.api` facade.
+
+Why stages?  Every consumer can now
+
+* *observe* a replay (register :class:`ReplayHook` objects for stage
+  lifecycle events and per-operator callbacks — progress bars, tracing,
+  metric taps),
+* *customise* a replay (insert, replace or skip stages without touching
+  core internals), and
+* *reuse* the build phase (run only the build stages to get a plan, then
+  execute it many times).
+
+Determinism note: the stages reproduce the legacy ``Replayer`` execution
+order operation-for-operation, so results (and therefore the service
+layer's cached result digests) are byte-identical to the pre-pipeline
+implementation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Sequence
+
+from repro.core.comms_replay import CommReplayManager
+from repro.core.reconstruction import OperatorReconstructor, ReconstructionError, ReconstructedOp
+from repro.core.registry import ReplaySupport
+from repro.core.selection import OperatorSelector, SelectionResult
+from repro.core.streams import StreamAssigner, StreamAssignment
+from repro.core.tensors import TensorManager
+from repro.hardware.counters import compute_system_metrics
+from repro.hardware.network import CollectiveCostModel, InterconnectSpec
+from repro.torchsim.distributed import DistributedContext
+from repro.torchsim.profiler import Profiler
+from repro.torchsim.runtime import Runtime
+from repro.et.trace import ExecutionTrace
+
+
+class ReplayPipelineError(RuntimeError):
+    """A stage was run against a context missing its prerequisites, or the
+    pipeline finished without producing a result."""
+
+
+# ----------------------------------------------------------------------
+# Context
+# ----------------------------------------------------------------------
+@dataclass
+class ReplayContext:
+    """Everything one replay reads and produces, threaded between stages.
+
+    The build stages fill the middle block (selection, reconstructed ops,
+    tensors, streams); the execution stages fill the measurement block and
+    finally :attr:`result`.  ``extras`` is a scratch dict for user stages
+    and hooks — core stages never touch it.
+    """
+
+    trace: ExecutionTrace
+    config: "ReplayConfig" = None  # type: ignore[assignment]
+    profiler_trace: Optional[Any] = None
+    support: Optional[ReplaySupport] = None
+    runtime: Optional[Runtime] = None
+    hooks: List["ReplayHook"] = field(default_factory=list)
+
+    # Build products.
+    selection: Optional[SelectionResult] = None
+    reconstructed: Dict[int, ReconstructedOp] = field(default_factory=dict)
+    reconstruction_failures: Dict[int, str] = field(default_factory=dict)
+    tensor_manager: Optional[TensorManager] = None
+    stream_assignment: Optional[StreamAssignment] = None
+
+    # Execution products.
+    profiler: Optional[Profiler] = None
+    iteration_times_us: List[float] = field(default_factory=list)
+    replayed_ops: int = 0
+    skipped_ops: int = 0
+    measure_start_us: float = 0.0
+    measure_end_us: float = 0.0
+    #: True while a *measured* iteration is replaying (False during warm-up),
+    #: so per-op hooks can tell the two apart.
+    measuring: bool = False
+
+    # Final product.
+    result: Optional["ReplayResult"] = None
+    extras: Dict[str, Any] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        from repro.core.replayer import ReplayConfig
+
+        if self.config is None:
+            self.config = ReplayConfig()
+        if self.support is None:
+            self.support = ReplaySupport()
+
+    # ------------------------------------------------------------------
+    def require(self, attribute: str, stage: "ReplayStage") -> Any:
+        """Fetch a context attribute a stage depends on, or fail clearly."""
+        value = getattr(self, attribute)
+        if value is None:
+            raise ReplayPipelineError(
+                f"stage {stage.name!r} requires context.{attribute}, which no earlier "
+                f"stage produced — check the pipeline's stage order"
+            )
+        return value
+
+    def emit_op_replayed(self, entry, output) -> None:
+        """Notify every registered hook that one operator was replayed."""
+        for hook in self.hooks:
+            hook.on_op_replayed(self, entry, output)
+
+
+# ----------------------------------------------------------------------
+# Hooks
+# ----------------------------------------------------------------------
+class ReplayHook:
+    """Observer of a replay's lifecycle.
+
+    Subclass and override any subset; every method is a no-op by default.
+    Hooks must not mutate the context's build/measurement products — use
+    ``context.extras`` for hook-owned state.
+    """
+
+    def on_stage_start(self, context: ReplayContext, stage: "ReplayStage") -> None:
+        """Called immediately before ``stage.run(context)``."""
+
+    def on_stage_end(self, context: ReplayContext, stage: "ReplayStage") -> None:
+        """Called after ``stage.run(context)`` returned normally."""
+
+    def on_op_replayed(self, context: ReplayContext, entry, output) -> None:
+        """Called after each replayed operator (warm-up and measured
+        iterations alike; check ``context.measuring`` to tell them apart)."""
+
+    def on_error(self, context: ReplayContext, stage: "ReplayStage", error: BaseException) -> None:
+        """Called when ``stage.run(context)`` raised; the error re-raises."""
+
+
+# ----------------------------------------------------------------------
+# Stage protocol and the seven core stages
+# ----------------------------------------------------------------------
+class ReplayStage:
+    """One step of a replay: reads and mutates the :class:`ReplayContext`.
+
+    Stages are identified by :attr:`name` for pipeline composition
+    (insert/replace/skip).  A stage must be reusable across contexts — keep
+    per-replay state on the context, not on the stage.
+    """
+
+    name: str = "stage"
+
+    def run(self, context: ReplayContext) -> None:
+        raise NotImplementedError
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"<{type(self).__name__} {self.name!r}>"
+
+
+class SelectStage(ReplayStage):
+    """Choose which trace nodes to replay (subtrace labels, categories,
+    parent/child deduplication) — Section 4.2."""
+
+    name = "select"
+
+    def run(self, context: ReplayContext) -> None:
+        selector = OperatorSelector(context.support)
+        context.selection = selector.select(
+            context.trace,
+            profiler_trace=context.profiler_trace,
+            subtrace_label=context.config.subtrace_label,
+            categories=context.config.categories,
+        )
+
+
+class ReconstructStage(ReplayStage):
+    """Turn each selected ET node back into a callable — Section 4.3.
+
+    Communication nodes optionally have their recorded process group
+    remapped onto a smaller replay world first."""
+
+    name = "reconstruct"
+
+    def run(self, context: ReplayContext) -> None:
+        selection = context.require("selection", self)
+        reconstructor = OperatorReconstructor(context.support.registry)
+        group_mapper = CommReplayManager(None, context.config.remap_world_size)
+        context.reconstructed = {}
+        context.reconstruction_failures = {}
+        for entry in selection.supported_entries():
+            node = entry.node
+            if context.config.remap_world_size is not None and entry.category == "comms":
+                node = _with_remapped_group(node, group_mapper)
+            try:
+                context.reconstructed[entry.node.id] = reconstructor.reconstruct(node)
+            except ReconstructionError as error:
+                entry.supported = False
+                entry.reason = str(error)
+                context.reconstruction_failures[entry.node.id] = str(error)
+
+
+class MaterializeTensorsStage(ReplayStage):
+    """Classify recorded tensors as intermediate vs external and prepare
+    their materialisation — Section 4.4."""
+
+    name = "materialize-tensors"
+
+    def run(self, context: ReplayContext) -> None:
+        selection = context.require("selection", self)
+        context.tensor_manager = TensorManager(embedding_config=context.config.embedding_config)
+        context.tensor_manager.classify(selection.entries)
+
+
+class AssignStreamsStage(ReplayStage):
+    """Re-create the recorded operator-to-stream placement — Section 4.5."""
+
+    name = "assign-streams"
+
+    def run(self, context: ReplayContext) -> None:
+        profiler_trace = context.profiler_trace if context.config.use_streams else None
+        context.stream_assignment = StreamAssigner().assign(context.trace, profiler_trace)
+
+
+class InitCommsStage(ReplayStage):
+    """Create the runtime (and distributed context) the replay runs on and
+    re-create the recorded process groups — Section 4.6.
+
+    A runtime already present on the context (injected by the caller) is
+    kept; only the communication groups are ensured on it."""
+
+    name = "init-comms"
+
+    def run(self, context: ReplayContext) -> None:
+        if context.runtime is None:
+            context.runtime = make_replay_runtime(context.trace, context.config)
+        if context.runtime.dist is not None:
+            comm_manager = CommReplayManager(context.runtime.dist, context.config.remap_world_size)
+            comm_manager.ensure_groups(CommReplayManager.extract(context.trace))
+
+
+class ExecuteStage(ReplayStage):
+    """Replay the selected operators in the recorded order: warm-up
+    iterations first (unmeasured, unprofiled), then the measured ones."""
+
+    name = "execute"
+
+    def run(self, context: ReplayContext) -> None:
+        runtime = context.require("runtime", self)
+        context.require("selection", self)
+        context.require("tensor_manager", self)
+        context.require("stream_assignment", self)
+
+        profiler: Optional[Profiler] = None
+        if context.config.profile:
+            profiler = runtime.attach_profiler(Profiler())
+        context.profiler = profiler
+
+        context.measuring = False
+        for _ in range(context.config.warmup_iterations):
+            self._replay_once(context, runtime)
+
+        if profiler is not None:
+            profiler.start()
+        context.measure_start_us = runtime.synchronize()
+        context.iteration_times_us = []
+        context.replayed_ops = 0
+        context.skipped_ops = 0
+        context.measuring = True
+        for _ in range(max(1, context.config.iterations)):
+            start = runtime.synchronize()
+            replayed, skipped = self._replay_once(context, runtime)
+            end = runtime.synchronize()
+            context.iteration_times_us.append(end - start)
+            context.replayed_ops += replayed
+            context.skipped_ops += skipped
+        context.measuring = False
+        context.measure_end_us = runtime.synchronize()
+        if profiler is not None:
+            profiler.stop()
+
+    # ------------------------------------------------------------------
+    def _replay_once(self, context: ReplayContext, runtime: Runtime) -> tuple:
+        """Replay every selected operator once, in execution order."""
+        replayed = 0
+        skipped = 0
+        notify = bool(context.hooks)
+        context.tensor_manager.reset_intermediates()
+        for entry in context.selection.entries:
+            if not entry.supported:
+                skipped += 1
+                continue
+            reconstructed = context.reconstructed.get(entry.node.id)
+            if reconstructed is None:
+                skipped += 1
+                continue
+            tensors = context.tensor_manager.gather_inputs(entry.node)
+            stream = (
+                context.stream_assignment.stream_for(entry.node.id)
+                if context.config.use_streams
+                else context.stream_assignment.default_stream
+            )
+            result = reconstructed.function(runtime, *tensors, stream=stream)
+            context.tensor_manager.register_outputs(entry.node, result)
+            replayed += 1
+            if notify:
+                context.emit_op_replayed(entry, result)
+        return replayed, skipped
+
+
+class MeasureStage(ReplayStage):
+    """Resolve the measurement window into timeline stats, system metrics
+    and the final :class:`~repro.core.replayer.ReplayResult`."""
+
+    name = "measure"
+
+    def run(self, context: ReplayContext) -> None:
+        from repro.core.replayer import ReplayResult
+
+        runtime = context.require("runtime", self)
+        selection = context.require("selection", self)
+        stats = runtime.timeline_stats(
+            window_start=context.measure_start_us, window_end=context.measure_end_us
+        )
+        metrics = compute_system_metrics(stats, runtime.spec, context.config.power_limit_w)
+        launches = [
+            launch for launch in runtime.gpu.launches
+            if launch.start is not None and launch.start >= context.measure_start_us
+        ]
+        context.result = ReplayResult(
+            iteration_times_us=list(context.iteration_times_us),
+            coverage=selection.coverage(),
+            replayed_ops=context.replayed_ops,
+            skipped_ops=context.skipped_ops,
+            timeline_stats=stats,
+            system_metrics=metrics,
+            profiler_trace=context.profiler.trace if context.profiler is not None else None,
+            kernel_launches=launches,
+        )
+
+
+#: Names of the stages that make up the initialisation (build) phase.
+BUILD_STAGE_NAMES = ("select", "reconstruct", "materialize-tensors", "assign-streams")
+
+
+def make_replay_runtime(trace: ExecutionTrace, config: "ReplayConfig") -> Runtime:
+    """The runtime (and distributed context) a replay of ``trace`` under
+    ``config`` runs on.  World size defaults to the trace metadata's."""
+    world_size = config.world_size
+    if world_size is None:
+        world_size = int(trace.metadata.get("world_size", 1))
+    dist: Optional[DistributedContext] = None
+    if world_size > 1:
+        collective_model = CollectiveCostModel(
+            spec=config.interconnect or InterconnectSpec(),
+            delay_scale=config.comm_delay_scale,
+            extra_delay_us=config.comm_extra_delay_us,
+        )
+        dist = DistributedContext(
+            rank=min(config.rank, world_size - 1),
+            world_size=world_size,
+            collective_model=collective_model,
+        )
+    return Runtime(
+        device=config.device,
+        power_limit_w=config.power_limit_w,
+        cost_model_mode=config.cost_model_mode,
+        rank=config.rank,
+        dist=dist,
+    )
+
+
+# ----------------------------------------------------------------------
+# Pipeline
+# ----------------------------------------------------------------------
+class ReplayPipeline:
+    """An ordered list of stages threading one :class:`ReplayContext`.
+
+    Composition methods mutate in place and return ``self`` so they chain::
+
+        pipeline = (
+            ReplayPipeline.default()
+            .insert_after("execute", MyTapStage())
+            .skip("measure")
+            .add_hook(ProgressHook())
+        )
+
+    Hooks registered on the pipeline are merged (order-preserving, deduped)
+    into ``context.hooks`` at :meth:`run` time, so per-op events reach them
+    too.
+    """
+
+    def __init__(
+        self,
+        stages: Optional[Sequence[ReplayStage]] = None,
+        hooks: Optional[Sequence[ReplayHook]] = None,
+    ) -> None:
+        self.stages: List[ReplayStage] = (
+            list(stages) if stages is not None else self.default_stages()
+        )
+        self.hooks: List[ReplayHook] = list(hooks or [])
+
+    @staticmethod
+    def default_stages() -> List[ReplayStage]:
+        """The seven canonical stages, in Section 4 order."""
+        return [
+            SelectStage(),
+            ReconstructStage(),
+            MaterializeTensorsStage(),
+            AssignStreamsStage(),
+            InitCommsStage(),
+            ExecuteStage(),
+            MeasureStage(),
+        ]
+
+    @classmethod
+    def default(cls, hooks: Optional[Sequence[ReplayHook]] = None) -> "ReplayPipeline":
+        return cls(hooks=hooks)
+
+    @classmethod
+    def build_only(cls) -> "ReplayPipeline":
+        """Just the initialisation phase (select → … → assign-streams)."""
+        pipeline = cls()
+        pipeline.stages = [s for s in pipeline.stages if s.name in BUILD_STAGE_NAMES]
+        return pipeline
+
+    # ------------------------------------------------------------------
+    # Composition
+    # ------------------------------------------------------------------
+    def stage_names(self) -> List[str]:
+        return [stage.name for stage in self.stages]
+
+    def _index_of(self, name: str) -> int:
+        for index, stage in enumerate(self.stages):
+            if stage.name == name:
+                return index
+        raise KeyError(f"no stage named {name!r}; stages are {self.stage_names()}")
+
+    def insert_before(self, name: str, stage: ReplayStage) -> "ReplayPipeline":
+        self.stages.insert(self._index_of(name), stage)
+        return self
+
+    def insert_after(self, name: str, stage: ReplayStage) -> "ReplayPipeline":
+        self.stages.insert(self._index_of(name) + 1, stage)
+        return self
+
+    def replace(self, name: str, stage: ReplayStage) -> "ReplayPipeline":
+        self.stages[self._index_of(name)] = stage
+        return self
+
+    def skip(self, *names: str) -> "ReplayPipeline":
+        for name in names:
+            del self.stages[self._index_of(name)]
+        return self
+
+    def add_hook(self, hook: ReplayHook) -> "ReplayPipeline":
+        self.hooks.append(hook)
+        return self
+
+    def clone(self) -> "ReplayPipeline":
+        """Independent copy (shared stage/hook objects, separate lists)."""
+        return ReplayPipeline(stages=list(self.stages), hooks=list(self.hooks))
+
+    # ------------------------------------------------------------------
+    # Execution
+    # ------------------------------------------------------------------
+    def run_context(self, context: ReplayContext) -> ReplayContext:
+        """Thread ``context`` through every stage and return it.
+
+        Emits ``on_stage_start``/``on_stage_end`` around each stage and
+        ``on_error`` (then re-raises) when a stage fails.  Unlike
+        :meth:`run`, no final result is demanded — use this for partial
+        pipelines (dry builds, measure-less taps).
+        """
+        for hook in self.hooks:
+            if hook not in context.hooks:
+                context.hooks.append(hook)
+        for stage in list(self.stages):
+            self._dispatch("on_stage_start", context, stage)
+            try:
+                stage.run(context)
+            except Exception as error:
+                for hook in context.hooks:
+                    # A buggy observer must not mask the real stage error
+                    # or starve the remaining hooks of the notification.
+                    try:
+                        hook.on_error(context, stage, error)
+                    except Exception:  # noqa: BLE001
+                        pass
+                raise
+            self._dispatch("on_stage_end", context, stage)
+        return context
+
+    def run(self, context: ReplayContext) -> "ReplayResult":
+        """Thread ``context`` through every stage and return its result."""
+        self.run_context(context)
+        if context.result is None:
+            raise ReplayPipelineError(
+                "pipeline finished without producing a result — it has no "
+                f"result-producing stage (stages ran: {self.stage_names()}); "
+                "use run_context() for partial pipelines"
+            )
+        return context.result
+
+    @staticmethod
+    def _dispatch(event: str, context: ReplayContext, stage: ReplayStage) -> None:
+        for hook in context.hooks:
+            getattr(hook, event)(context, stage)
+
+
+def run_replay(
+    trace: ExecutionTrace,
+    config: Optional["ReplayConfig"] = None,
+    profiler_trace: Optional[Any] = None,
+    support: Optional[ReplaySupport] = None,
+    hooks: Optional[Sequence[ReplayHook]] = None,
+    pipeline: Optional[ReplayPipeline] = None,
+    runtime: Optional[Runtime] = None,
+) -> "ReplayResult":
+    """One-shot replay of ``trace`` through the (default) stage pipeline.
+
+    The convenience wrapper internal consumers share; the fluent public
+    entry point is :func:`repro.api.replay`.
+    """
+    context = ReplayContext(
+        trace=trace,
+        config=config,
+        profiler_trace=profiler_trace,
+        support=support,
+        runtime=runtime,
+        hooks=list(hooks or []),
+    )
+    active = pipeline if pipeline is not None else ReplayPipeline.default()
+    return active.run(context)
+
+
+def _with_remapped_group(node, group_mapper: CommReplayManager):
+    """Copy of a communication node with its process group remapped."""
+    from repro.et.schema import ETNode
+
+    copy = ETNode.from_dict(node.to_dict())
+    copy.inputs = [
+        group_mapper.map_group(value)
+        if type_str == "Dict" and isinstance(value, dict) and "ranks" in value
+        else value
+        for value, type_str in zip(copy.inputs, copy.input_types)
+    ]
+    return copy

@@ -1,38 +1,41 @@
-"""The ET replayer (Section 4.6).
+"""The ET replayer configuration, results, and the legacy ``Replayer`` shim.
 
-Putting the pipeline together: select the operators to replay, reconstruct a
-callable for each, prepare the necessary tensors, initialise the distributed
-environment if the trace came from a multi-rank job, and then replay the
-operators with the original execution order, input arguments (but not tensor
-values), data dependencies and stream placement, to reproduce the original
-performance characteristics.
+The replay implementation itself lives in :mod:`repro.core.pipeline` as a
+sequence of first-class stage objects (select → reconstruct → materialise
+tensors → assign streams → init comms → execute → measure); the public
+entry point is the :mod:`repro.api` facade.  This module keeps:
 
-The replayer is also the configuration point for the use cases of Section 7:
-subtrace replay, operator-type filtering, and scaled-down performance
-emulation (through the communication-delay knobs).
+* :class:`ReplayConfig` — everything that controls how a trace becomes a
+  benchmark run (also the configuration point for the Section 7 use cases:
+  subtrace replay, operator-type filtering, scaled-down emulation),
+* :class:`ReplayResult` / :class:`ReplayResultSummary` — the measurements,
+* :class:`Replayer` — a thin **deprecated** shim over the stage pipeline,
+  kept so existing callers and cached result digests are unchanged.
 """
 
 from __future__ import annotations
 
 import hashlib
 import json
+import logging
+import warnings
 from dataclasses import asdict, dataclass, field
 from typing import Any, Dict, List, Optional, Sequence
 
-from repro.core.comms_replay import CommReplayManager
-from repro.core.reconstruction import OperatorReconstructor, ReconstructionError, ReconstructedOp
+from repro.core.reconstruction import ReconstructedOp
 from repro.core.registry import ReplaySupport
-from repro.core.selection import CoverageReport, OperatorSelector, ReplayPlanEntry, SelectionResult
-from repro.core.streams import StreamAssigner, StreamAssignment
+from repro.core.selection import CoverageReport, SelectionResult
+from repro.core.streams import StreamAssignment
 from repro.core.tensors import EmbeddingValueConfig, TensorManager
-from repro.hardware.counters import SystemMetrics, compute_system_metrics
+from repro.hardware.counters import SystemMetrics
 from repro.hardware.gpu import TimelineStats
-from repro.hardware.network import CollectiveCostModel, InterconnectSpec
-from repro.torchsim.distributed import DistributedContext
+from repro.hardware.network import InterconnectSpec
 from repro.torchsim.kernel import KernelLaunch
-from repro.torchsim.profiler import Profiler, ProfilerTrace
+from repro.torchsim.profiler import ProfilerTrace
 from repro.torchsim.runtime import Runtime
 from repro.et.trace import ExecutionTrace
+
+logger = logging.getLogger(__name__)
 
 
 @dataclass
@@ -87,14 +90,27 @@ class ReplayConfig:
         return data
 
     @classmethod
-    def from_dict(cls, data: Dict[str, Any]) -> "ReplayConfig":
+    def from_dict(cls, data: Dict[str, Any], strict: bool = False) -> "ReplayConfig":
         """Rebuild a config from :meth:`to_dict` output.
 
-        Unknown keys are ignored; *absent* keys keep their dataclass
-        defaults (so a partial dict never silently disables, say, the
-        embedding-value default).
+        *Absent* keys keep their dataclass defaults (so a partial dict never
+        silently disables, say, the embedding-value default).  Unknown keys
+        — typically typos in sweep axis names or provenance dicts from a
+        newer version — are reported: with ``strict=True`` they raise
+        ``ValueError``; otherwise they are ignored but logged as a warning
+        naming every dropped key.
         """
         known = {f for f in cls.__dataclass_fields__}  # type: ignore[attr-defined]
+        unknown = sorted(key for key in data if key not in known)
+        if unknown:
+            if strict:
+                raise ValueError(
+                    f"unknown ReplayConfig keys: {unknown}; known fields are {sorted(known)}"
+                )
+            logger.warning(
+                "ReplayConfig.from_dict: ignoring unknown keys %s (pass strict=True to raise)",
+                unknown,
+            )
         kwargs = {key: value for key, value in data.items() if key in known}
         if isinstance(kwargs.get("embedding_config"), dict):
             kwargs["embedding_config"] = EmbeddingValueConfig(**kwargs["embedding_config"])
@@ -105,8 +121,22 @@ class ReplayConfig:
         return cls(**kwargs)
 
     def digest(self) -> str:
-        """Stable content hash of this config (hex SHA-256)."""
-        canonical = json.dumps(self.to_dict(), sort_keys=True, default=str)
+        """Stable content hash of this config (hex SHA-256).
+
+        Nested dataclasses are encoded explicitly by :meth:`to_dict`
+        (``asdict`` recurses into them), and any field value that does not
+        canonicalise to JSON raises ``TypeError`` — a stringified ``repr``
+        fallback could let two semantically different configs collide on
+        one digest, which would poison the service layer's result cache.
+        """
+        try:
+            canonical = json.dumps(self.to_dict(), sort_keys=True)
+        except (TypeError, ValueError) as error:
+            raise TypeError(
+                "ReplayConfig.digest(): config holds a non-JSON-serialisable value "
+                f"({error}); fields must be JSON scalars, sequences, mappings or "
+                "dataclasses thereof"
+            ) from None
         return hashlib.sha256(canonical.encode("utf-8")).hexdigest()
 
     def __hash__(self) -> int:
@@ -208,7 +238,14 @@ class ReplayResultSummary:
 
 
 class Replayer:
-    """Replays an execution trace as a benchmark."""
+    """**Deprecated** shim over the stage pipeline.
+
+    Replays an execution trace as a benchmark, exactly as before, but every
+    step now runs through :class:`repro.core.pipeline.ReplayPipeline`.  New
+    code should use the :mod:`repro.api` facade (or the pipeline directly);
+    :meth:`run` emits a :class:`DeprecationWarning`, and CI rejects direct
+    use inside ``src/`` outside this module.
+    """
 
     def __init__(
         self,
@@ -224,165 +261,76 @@ class Replayer:
         self.plan: Optional[ReplayPlan] = None
 
     # ------------------------------------------------------------------
+    def _context(self, runtime: Optional[Runtime] = None):
+        from repro.core.pipeline import ReplayContext
+
+        return ReplayContext(
+            trace=self.trace,
+            profiler_trace=self.profiler_trace,
+            config=self.config,
+            support=self.support,
+            runtime=runtime,
+        )
+
+    # ------------------------------------------------------------------
     # Initialisation phase
     # ------------------------------------------------------------------
     def build(self) -> ReplayPlan:
         """Select, reconstruct and prepare everything needed to replay."""
-        selector = OperatorSelector(self.support)
-        selection = selector.select(
-            self.trace,
-            profiler_trace=self.profiler_trace,
-            subtrace_label=self.config.subtrace_label,
-            categories=self.config.categories,
-        )
+        from repro.core.pipeline import ReplayPipeline
 
-        reconstructor = OperatorReconstructor(self.support.registry)
-        group_mapper = CommReplayManager(None, self.config.remap_world_size)
-        reconstructed: Dict[int, ReconstructedOp] = {}
-        failures: Dict[int, str] = {}
-        for entry in selection.supported_entries():
-            node = entry.node
-            if self.config.remap_world_size is not None and entry.category == "comms":
-                node = _with_remapped_group(node, group_mapper)
-            try:
-                reconstructed[entry.node.id] = reconstructor.reconstruct(node)
-            except ReconstructionError as error:
-                entry.supported = False
-                entry.reason = str(error)
-                failures[entry.node.id] = str(error)
-
-        assigner = StreamAssigner()
-        stream_assignment = assigner.assign(self.trace, self.profiler_trace if self.config.use_streams else None)
-
-        tensor_manager = TensorManager(embedding_config=self.config.embedding_config)
-        tensor_manager.classify(selection.entries)
-
+        context = self._context()
+        for stage in ReplayPipeline.build_only().stages:
+            stage.run(context)
         self.plan = ReplayPlan(
-            selection=selection,
-            reconstructed=reconstructed,
-            stream_assignment=stream_assignment,
-            tensor_manager=tensor_manager,
-            reconstruction_failures=failures,
+            selection=context.selection,
+            reconstructed=context.reconstructed,
+            stream_assignment=context.stream_assignment,
+            tensor_manager=context.tensor_manager,
+            reconstruction_failures=context.reconstruction_failures,
         )
         return self.plan
 
     def make_runtime(self) -> Runtime:
         """Create the runtime (and distributed context) the replay runs on."""
-        world_size = self.config.world_size
-        if world_size is None:
-            world_size = int(self.trace.metadata.get("world_size", 1))
-        dist: Optional[DistributedContext] = None
-        if world_size > 1:
-            collective_model = CollectiveCostModel(
-                spec=self.config.interconnect or InterconnectSpec(),
-                delay_scale=self.config.comm_delay_scale,
-                extra_delay_us=self.config.comm_extra_delay_us,
-            )
-            dist = DistributedContext(
-                rank=min(self.config.rank, world_size - 1),
-                world_size=world_size,
-                collective_model=collective_model,
-            )
-        return Runtime(
-            device=self.config.device,
-            power_limit_w=self.config.power_limit_w,
-            cost_model_mode=self.config.cost_model_mode,
-            rank=self.config.rank,
-            dist=dist,
-        )
+        from repro.core.pipeline import make_replay_runtime
+
+        return make_replay_runtime(self.trace, self.config)
 
     # ------------------------------------------------------------------
     # Execution phase
     # ------------------------------------------------------------------
     def run(self, runtime: Optional[Runtime] = None) -> ReplayResult:
-        """Execute the replay and measure the generated benchmark."""
-        if self.plan is None:
-            self.build()
-        plan = self.plan
-        assert plan is not None
+        """Execute the replay and measure the generated benchmark.
 
-        runtime = runtime if runtime is not None else self.make_runtime()
-        if runtime.dist is not None:
-            comm_manager = CommReplayManager(runtime.dist, self.config.remap_world_size)
-            comm_manager.ensure_groups(CommReplayManager.extract(self.trace))
+        Deprecated: use ``repro.api.replay(trace)...run()`` instead.
+        """
+        from repro.core.pipeline import BUILD_STAGE_NAMES, ReplayPipeline
 
-        profiler: Optional[Profiler] = None
-        if self.config.profile:
-            profiler = runtime.attach_profiler(Profiler())
-
-        # Warm-up iterations are not measured and not profiled.
-        for _ in range(self.config.warmup_iterations):
-            self._replay_once(runtime, plan)
-
-        if profiler is not None:
-            profiler.start()
-        measure_start = runtime.synchronize()
-        iteration_times: List[float] = []
-        replayed = 0
-        skipped = 0
-        for _ in range(max(1, self.config.iterations)):
-            start = runtime.synchronize()
-            iteration_replayed, iteration_skipped = self._replay_once(runtime, plan)
-            end = runtime.synchronize()
-            iteration_times.append(end - start)
-            replayed += iteration_replayed
-            skipped += iteration_skipped
-        measure_end = runtime.synchronize()
-        if profiler is not None:
-            profiler.stop()
-
-        stats = runtime.timeline_stats(window_start=measure_start, window_end=measure_end)
-        metrics = compute_system_metrics(stats, runtime.spec, self.config.power_limit_w)
-        launches = [
-            launch for launch in runtime.gpu.launches
-            if launch.start is not None and launch.start >= measure_start
-        ]
-        return ReplayResult(
-            iteration_times_us=iteration_times,
-            coverage=plan.selection.coverage(),
-            replayed_ops=replayed,
-            skipped_ops=skipped,
-            timeline_stats=stats,
-            system_metrics=metrics,
-            profiler_trace=profiler.trace if profiler is not None else None,
-            kernel_launches=launches,
+        warnings.warn(
+            "Replayer.run() is deprecated; use the repro.api facade "
+            "(repro.api.replay(trace)...run()) or repro.core.pipeline.ReplayPipeline",
+            DeprecationWarning,
+            stacklevel=2,
         )
-
-    # ------------------------------------------------------------------
-    def _replay_once(self, runtime: Runtime, plan: ReplayPlan) -> tuple:
-        """Replay every selected operator once, in execution order."""
-        replayed = 0
-        skipped = 0
-        plan.tensor_manager.reset_intermediates()
-        for entry in plan.selection.entries:
-            if not entry.supported:
-                skipped += 1
-                continue
-            reconstructed = plan.reconstructed.get(entry.node.id)
-            if reconstructed is None:
-                skipped += 1
-                continue
-            tensors = plan.tensor_manager.gather_inputs(entry.node)
-            stream = (
-                plan.stream_assignment.stream_for(entry.node.id)
-                if self.config.use_streams
-                else plan.stream_assignment.default_stream
+        context = self._context(runtime=runtime)
+        pipeline = ReplayPipeline.default()
+        if self.plan is not None:
+            # A caller built (and possibly customised) the plan already —
+            # reuse it instead of re-running the build stages.
+            context.selection = self.plan.selection
+            context.reconstructed = self.plan.reconstructed
+            context.stream_assignment = self.plan.stream_assignment
+            context.tensor_manager = self.plan.tensor_manager
+            context.reconstruction_failures = self.plan.reconstruction_failures
+            pipeline.skip(*BUILD_STAGE_NAMES)
+        result = pipeline.run(context)
+        if self.plan is None:
+            self.plan = ReplayPlan(
+                selection=context.selection,
+                reconstructed=context.reconstructed,
+                stream_assignment=context.stream_assignment,
+                tensor_manager=context.tensor_manager,
+                reconstruction_failures=context.reconstruction_failures,
             )
-            result = reconstructed.function(runtime, *tensors, stream=stream)
-            plan.tensor_manager.register_outputs(entry.node, result)
-            replayed += 1
-        return replayed, skipped
-
-
-def _with_remapped_group(node, group_mapper: CommReplayManager):
-    """Copy of a communication node with its process group remapped."""
-    from repro.et.schema import ETNode
-
-    copy = ETNode.from_dict(node.to_dict())
-    copy.inputs = [
-        group_mapper.map_group(value)
-        if type_str == "Dict" and isinstance(value, dict) and "ranks" in value
-        else value
-        for value, type_str in zip(copy.inputs, copy.input_types)
-    ]
-    return copy
+        return result

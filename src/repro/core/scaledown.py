@@ -25,7 +25,8 @@ from dataclasses import dataclass
 from typing import Dict, List, Optional
 
 from repro.core.comms_replay import CommReplayManager
-from repro.core.replayer import ReplayConfig, Replayer, ReplayResult
+from repro.core.pipeline import run_replay
+from repro.core.replayer import ReplayConfig, ReplayResult
 from repro.core.registry import ReplaySupport
 from repro.hardware.network import CollectiveCostModel, InterconnectSpec
 from repro.et.trace import ExecutionTrace
@@ -108,8 +109,7 @@ class ScaleDownEmulator:
             interconnect=self.config.interconnect,
             comm_delay_scale=delay_scale,
         )
-        replayer = Replayer(trace, profiler_trace, config, support=self.support)
-        return replayer.run()
+        return run_replay(trace, config=config, profiler_trace=profiler_trace, support=self.support)
 
     def emulate(
         self,

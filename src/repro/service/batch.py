@@ -34,7 +34,8 @@ from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Any, Dict, List, Optional, Sequence, Union
 
-from repro.core.replayer import ReplayConfig, Replayer, ReplayResultSummary
+from repro.core.pipeline import run_replay
+from repro.core.replayer import ReplayConfig, ReplayResultSummary
 from repro.et.trace import ExecutionTrace
 from repro.service.cache import ResultCache, cache_key
 from repro.service.repository import TraceRecord
@@ -118,7 +119,7 @@ def _replay_trace(trace: ExecutionTrace, config_dict: Dict[str, Any]) -> Dict[st
     """Replay an already-loaded trace and return the summary payload."""
     start = time.perf_counter()
     config = ReplayConfig.from_dict(config_dict)
-    result = Replayer(trace, config=config).run()
+    result = run_replay(trace, config=config)
     return {"summary": result.summarize().to_dict(), "duration_s": time.perf_counter() - start}
 
 

@@ -11,6 +11,11 @@ Three subcommands drive the service layer:
     Cross product of traces x devices x config axes (power limits,
     communication-delay scales, iterations ...), batched and cached.
 
+Replays are executed through the :mod:`repro.api` facade (and therefore
+the stage pipeline); ``--iterations``/``--warmup`` pass straight through
+to the :class:`~repro.core.replayer.ReplayConfig` every job runs under,
+and ``repro --version`` reports the package version.
+
 Examples
 --------
 ::
@@ -31,13 +36,13 @@ import json
 import sys
 from typing import List, Optional, Sequence
 
+import repro.api as api
 from repro.bench.aggregate import cache_summary_line, format_batch_report, format_device_aggregate
 from repro.bench.reporting import format_table
 from repro.core.replayer import ReplayConfig
-from repro.service.batch import BACKENDS, BatchReplayer
-from repro.service.cache import ResultCache
+from repro.service.batch import BACKENDS
 from repro.service.repository import TraceRepository
-from repro.service.sweep import SweepRunner, SweepSpec
+from repro.service.sweep import SweepSpec
 from repro.version import __version__
 
 
@@ -164,11 +169,6 @@ def _cmd_list_traces(args: argparse.Namespace) -> int:
     return 0
 
 
-def _make_replayer(args: argparse.Namespace) -> BatchReplayer:
-    cache = ResultCache(args.cache) if args.cache else None
-    return BatchReplayer(cache=cache, max_workers=args.workers, backend=args.backend)
-
-
 def _cmd_replay(args: argparse.Namespace) -> int:
     spec = SweepSpec(
         traces=args.trace,
@@ -194,10 +194,15 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
 
 
 def _run_sweep(args: argparse.Namespace, spec: SweepSpec) -> int:
-    repository = TraceRepository(args.repo)
-    runner = SweepRunner(repository, replayer=_make_replayer(args))
+    """Execute a sweep spec through the :mod:`repro.api` facade."""
     try:
-        result = runner.run(spec)
+        result = api.sweep(
+            args.repo,
+            spec=spec,
+            cache_dir=args.cache,
+            workers=args.workers,
+            backend=args.backend,
+        )
     except (ValueError, KeyError) as error:
         print(f"error: {error}", file=sys.stderr)
         return 1

@@ -23,6 +23,7 @@ from __future__ import annotations
 
 import ast
 import re
+import threading
 from dataclasses import dataclass, field
 from typing import Any, Dict, List, Optional, Sequence, Tuple
 
@@ -143,6 +144,20 @@ def build_ir(
 # ----------------------------------------------------------------------
 # IR parsing
 # ----------------------------------------------------------------------
+#: CPython's C ``_ast`` node constructor tracks its recursion depth in
+#: interpreter-wide state (gh-105238 lineage; fixed in newer 3.12+), so
+#: concurrent ``ast.literal_eval`` calls from replay worker threads can
+#: raise a spurious ``SystemError: AST constructor recursion depth
+#: mismatch``.  The parse is GIL-bound anyway, so serialising it costs
+#: nothing and makes threaded batch replays deterministic.
+_LITERAL_EVAL_LOCK = threading.Lock()
+
+
+def _literal_eval(raw_value: str):
+    with _LITERAL_EVAL_LOCK:
+        return ast.literal_eval(raw_value)
+
+
 _INPUT_RE = re.compile(r"(%[\w.]+)\s*:\s*([^,)]+)")
 _CONST_RE = re.compile(r"^\s*(%[\w.]+)\s*:\s*(.+?)\s*=\s*prim::Constant\[value=(.*)\]\(\)\s*$")
 _CALL_RE = re.compile(r"^\s*(%[\w.]+)\s*:\s*(.+?)\s*=\s*([\w]+::[\w]+)\((.*)\)\s*$")
@@ -172,7 +187,7 @@ def parse_ir(text: str) -> IRGraph:
         if const_match:
             raw_value = const_match.group(3)
             try:
-                value = ast.literal_eval(raw_value)
+                value = _literal_eval(raw_value)
             except (ValueError, SyntaxError):
                 value = raw_value
             graph.constants.append(
