@@ -3,10 +3,16 @@
 PYTHON ?= python
 export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH),)
 
-.PHONY: test bench lint example-sweep clean
+.PHONY: test test-cluster bench lint example-sweep clean
 
 test:
 	$(PYTHON) -m pytest -x -q
+
+# Multi-rank distributed replay subsystem: unit/integration tests plus a
+# 4-rank DDP smoke replay through the public facade.
+test-cluster:
+	$(PYTHON) -m pytest tests/test_cluster_replay.py tests/test_collective_costmodel.py -q
+	$(PYTHON) examples/cluster_straggler.py
 
 bench:
 	$(PYTHON) -m pytest benchmarks/ -q

@@ -27,6 +27,12 @@ The package is organised into:
     The four evaluated workloads (PARAM linear, ResNet, ASR, RM) and the
     distributed data-parallel machinery needed to run them.
 
+``repro.cluster``
+    Multi-rank distributed replay: a virtual-time collective scheduler
+    that matches collectives across per-rank traces, prices each once,
+    and releases all participants at the same virtual completion time —
+    making straggler skew and comm/compute overlap measurable.
+
 ``repro.bench``
     Harness utilities that regenerate every table and figure of the paper's
     evaluation section.

@@ -29,6 +29,15 @@ Sweep a trace repository::
                       axes={"power_limit_w": [None, 250.0]},
                       cache_dir=".repro-cache")
 
+Co-replay a fleet of per-rank traces (multi-rank distributed replay)::
+
+    report = (
+        api.replay_cluster("traces/rm_4rank/")    # or a list of captures
+        .world(64).on("A100")
+        .configure_rank(0, device="V100")         # model a straggler
+        .run()                                    # -> ClusterReport
+    )
+
 Customisation happens through the stage pipeline: stages
 (:class:`SelectStage` … :class:`MeasureStage`) are first-class objects a
 session can insert, replace or skip, and :class:`ReplayHook` observers
@@ -48,7 +57,9 @@ from repro.api.hooks import (
     ProgressHook,
     StageTimingHook,
 )
+from repro.api.cluster import ClusterSession, FleetSource
 from repro.api.session import ReplaySession, ReplaySource
+from repro.cluster.engine import ClusterReplayer, ClusterReport, RankReport
 from repro.bench.harness import (
     CaptureResult,
     ComparisonResult,
@@ -104,6 +115,24 @@ def replay(
         support=support,
         pipeline=pipeline,
     )
+
+
+def replay_cluster(
+    fleet: FleetSource,
+    config: Optional[ReplayConfig] = None,
+    support: Optional[ReplaySupport] = None,
+) -> ClusterSession:
+    """Start a fluent multi-rank co-replay session for a trace fleet.
+
+    ``fleet`` is a directory of serialised per-rank traces, or a sequence
+    of traces / paths / ``RankCapture`` objects (one per rank, captured
+    from the same iteration so collectives match across ranks).  Nothing
+    executes until ``.run()`` on the returned :class:`ClusterSession`::
+
+        report = api.replay_cluster(captures).world(64).on("A100").run()
+        print(report.critical_path_us, report.mean_exposed_comm_us)
+    """
+    return ClusterSession(fleet, config=config, support=support)
 
 
 def capture(
@@ -198,9 +227,15 @@ def sweep(
 __all__ = [
     # entry points
     "replay",
+    "replay_cluster",
     "capture",
     "compare",
     "sweep",
+    # cluster replay
+    "ClusterSession",
+    "ClusterReplayer",
+    "ClusterReport",
+    "RankReport",
     # session / pipeline protocol
     "ReplaySession",
     "ReplayPipeline",

@@ -1,0 +1,147 @@
+"""The fluent cluster-replay session behind :func:`repro.api.replay_cluster`.
+
+A :class:`ClusterSession` accumulates *what* to co-replay (a fleet of
+per-rank traces, captures, paths, or a directory of serialised traces) and
+*how* (device, priced world size, iterations, interconnect, per-rank
+straggler overrides), then hands everything to the
+:class:`~repro.cluster.engine.ClusterReplayer`::
+
+    report = (
+        api.replay_cluster("traces/rm_64rank/")
+        .world(64)
+        .on("A100")
+        .iterations(3, warmup=1)
+        .configure_rank(0, device="V100")    # model a straggler
+        .run()
+    )
+    print(report.critical_path_us, report.straggler_rank)
+
+Every mutator returns ``self``; nothing executes until :meth:`run`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace as dataclass_replace
+from pathlib import Path
+from typing import Any, Dict, Optional, Sequence, Union
+
+from repro.cluster.engine import ClusterReplayer, ClusterReport, TraceLike
+from repro.core.registry import ReplaySupport
+from repro.core.replayer import ReplayConfig
+from repro.hardware.network import InterconnectSpec
+
+#: What :func:`repro.api.replay_cluster` accepts: a directory of serialised
+#: traces, or an explicit sequence of per-rank sources.
+FleetSource = Union[str, Path, Sequence[TraceLike]]
+
+
+class ClusterSession:
+    """Fluent builder for one multi-rank co-replay."""
+
+    def __init__(
+        self,
+        fleet: FleetSource,
+        config: Optional[ReplayConfig] = None,
+        support: Optional[ReplaySupport] = None,
+    ) -> None:
+        self._fleet = fleet
+        self._config = config if config is not None else ReplayConfig()
+        self._support = support
+        self._rank_overrides: Dict[int, Dict[str, Any]] = {}
+        self._backend = "thread"
+        self._timeout_s = 60.0
+        self._strict_match = True
+
+    # ------------------------------------------------------------------
+    # Configuration
+    # ------------------------------------------------------------------
+    @property
+    def config(self) -> ReplayConfig:
+        """The base config every replica runs under (read-only snapshot)."""
+        return self._config
+
+    def using(self, config: ReplayConfig) -> "ClusterSession":
+        """Replace the whole base config (later field mutators still apply)."""
+        self._config = config
+        return self
+
+    def configure(self, **fields: Any) -> "ClusterSession":
+        """Override arbitrary :class:`ReplayConfig` fields for every rank."""
+        self._config = dataclass_replace(self._config, **fields)
+        return self
+
+    def on(self, device: str) -> "ClusterSession":
+        """Target device spec for every replica (``"A100"``, ``"V100"`` …)."""
+        return self.configure(device=device)
+
+    def world(self, world_size: int) -> "ClusterSession":
+        """World size the collectives are priced at.
+
+        Defaults to the world size recorded in the trace metadata; override
+        it to re-price a fleet as if it ran at a different scale (the
+        scale-down emulation of Section 7.3, fleet edition).
+        """
+        return self.configure(world_size=world_size)
+
+    def iterations(self, count: int, warmup: Optional[int] = None) -> "ClusterSession":
+        """Measured iteration count (and optionally the warm-up count)."""
+        overrides: dict = {"iterations": count}
+        if warmup is not None:
+            overrides["warmup_iterations"] = warmup
+        return self.configure(**overrides)
+
+    def interconnect(self, spec: InterconnectSpec) -> "ClusterSession":
+        """Cluster-fabric description pricing every matched collective."""
+        return self.configure(interconnect=spec)
+
+    def comm_delay(self, scale: float = 1.0, extra_us: float = 0.0) -> "ClusterSession":
+        """Scale/offset collective durations (scale-down emulation knobs)."""
+        return self.configure(comm_delay_scale=scale, comm_extra_delay_us=extra_us)
+
+    def configure_rank(self, rank: int, **fields: Any) -> "ClusterSession":
+        """Override config fields for one replica only — the straggler
+        modelling knob (e.g. ``configure_rank(0, device="V100")``)."""
+        self._rank_overrides.setdefault(int(rank), {}).update(fields)
+        return self
+
+    def with_support(self, support: ReplaySupport) -> "ClusterSession":
+        """Replay-support policy (custom-operator registrations)."""
+        self._support = support
+        return self
+
+    # ------------------------------------------------------------------
+    # Execution policy
+    # ------------------------------------------------------------------
+    def backend(self, backend: str) -> "ClusterSession":
+        """Worker backend: ``"thread"`` (default) or ``"serial"`` (one
+        replica only)."""
+        self._backend = backend
+        return self
+
+    def timeout(self, seconds: float) -> "ClusterSession":
+        """Real-time rendezvous guard against mismatched fleets."""
+        self._timeout_s = seconds
+        return self
+
+    def lenient_match(self) -> "ClusterSession":
+        """Attempt the replay even when the pre-flight collective match
+        reports unmatched collectives (they then fail at rendezvous time)."""
+        self._strict_match = False
+        return self
+
+    # ------------------------------------------------------------------
+    # Execution
+    # ------------------------------------------------------------------
+    def run(self) -> ClusterReport:
+        """Pre-flight-match, co-replay the fleet, and aggregate the report."""
+        replayer = ClusterReplayer(
+            config=self._config,
+            backend=self._backend,
+            timeout_s=self._timeout_s,
+            strict_match=self._strict_match,
+            support=self._support,
+        )
+        fleet = self._fleet
+        if isinstance(fleet, (str, Path)):
+            fleet = ClusterReplayer.load_fleet(fleet)
+        return replayer.replay(fleet, rank_overrides=self._rank_overrides or None)

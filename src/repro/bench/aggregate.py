@@ -100,3 +100,47 @@ def cache_summary_line(batch) -> str:
         f"{len(batch)} jobs: {batch.replayed_count} replayed, "
         f"{batch.cached_count} from cache, {batch.error_count} failed"
     )
+
+
+#: Columns of the per-rank cluster report, in display order.
+CLUSTER_REPORT_HEADERS: Sequence[str] = (
+    "rank",
+    "time_ms",
+    "comm_ms",
+    "exposed_comm_ms",
+    "stall_ms",
+    "sm_util_%",
+    "power_w",
+)
+
+
+def format_cluster_report(report, title: str = "") -> str:
+    """Text rendering of a :class:`~repro.cluster.engine.ClusterReport`:
+    one row per rank plus the fleet-level critical-path summary."""
+    if not title:
+        title = (
+            f"Cluster replay on {report.device}: {report.num_replicas} replica(s), "
+            f"world size {report.world_size}"
+        )
+    rows = [
+        [
+            rank.rank,
+            rank.mean_iteration_time_us / 1e3,
+            rank.comm_time_us / 1e3,
+            rank.exposed_comm_us / 1e3,
+            rank.stall_us / 1e3,
+            rank.summary.sm_utilization_pct,
+            rank.summary.gpu_power_w,
+        ]
+        for rank in report.ranks
+    ]
+    table = format_table(CLUSTER_REPORT_HEADERS, rows, title=title)
+    summary = (
+        f"critical path {report.critical_path_us / 1e3:.3f} ms "
+        f"(straggler: rank {report.straggler_rank}); "
+        f"mean iteration {report.mean_iteration_time_us / 1e3:.3f} ms; "
+        f"{report.matched_collectives} collectives matched, "
+        f"{report.unmatched_collectives} unmatched; "
+        f"skew max {report.max_skew_us:.1f} us / mean {report.mean_skew_us:.1f} us"
+    )
+    return f"{table}\n{summary}"

@@ -199,6 +199,82 @@ def unsupported_gpu_time_us(capture: CaptureResult, support: Optional[ReplaySupp
     return coverage.total_gpu_time_us - coverage.supported_gpu_time_us
 
 
+@dataclass
+class DistributedComparisonResult:
+    """Original-vs-replay comparison for a distributed fleet (Table 5)."""
+
+    workload_name: str
+    device: str
+    world_size: int
+    ranks_simulated: int
+    #: Per-GPU averages of the original run (``DistributedRunner.aggregate_metrics``).
+    original: Dict[str, float]
+    #: The same per-GPU averages measured from the cluster co-replay.
+    replay: Dict[str, float]
+    #: The full cluster report (per-rank timelines, skew, critical path).
+    report: "ClusterReport"  # noqa: F821 - imported lazily in compare_distributed
+
+    @property
+    def replay_error(self) -> Dict[str, float]:
+        """Relative error of the replay per metric."""
+        errors: Dict[str, float] = {}
+        for key, value in self.original.items():
+            if value:
+                errors[key] = abs(self.replay.get(key, 0.0) - value) / abs(value)
+        return errors
+
+
+def compare_distributed(
+    workload_factory,
+    world_size: int,
+    device: str = "A100",
+    ranks_to_simulate: Optional[int] = None,
+    config: Optional[ReplayConfig] = None,
+    warmup_iterations: int = 1,
+) -> DistributedComparisonResult:
+    """One Table-5 row through the multi-rank replay engine.
+
+    Runs the workload across ``world_size`` simulated ranks (optionally
+    capturing only ``ranks_to_simulate`` of them — data-parallel ranks are
+    symmetric), co-replays the captured fleet through
+    :class:`~repro.cluster.engine.ClusterReplayer`, and compares the
+    per-GPU averages of both runs.
+    """
+    from repro.cluster.engine import ClusterReplayer
+    from repro.workloads.ddp import DistributedRunner
+
+    if config is None:
+        config = ReplayConfig(device=device)
+    runner = DistributedRunner(
+        workload_factory,
+        world_size=world_size,
+        device=device,
+        interconnect=config.interconnect,
+        warmup_iterations=warmup_iterations,
+        power_limit_w=config.power_limit_w,
+    )
+    captures = runner.run(ranks_to_simulate=ranks_to_simulate)
+    original = DistributedRunner.aggregate_metrics(captures)
+
+    report = ClusterReplayer(config).replay(captures)
+    count = float(report.num_replicas) or 1.0
+    replay = {
+        "execution_time_ms": sum(r.mean_iteration_time_us for r in report.ranks) / count / 1e3,
+        "sm_utilization_pct": sum(r.summary.sm_utilization_pct for r in report.ranks) / count,
+        "hbm_bandwidth_gbps": sum(r.summary.hbm_bandwidth_gbps for r in report.ranks) / count,
+        "gpu_power_w": sum(r.summary.gpu_power_w for r in report.ranks) / count,
+    }
+    return DistributedComparisonResult(
+        workload_name=captures[0].execution_trace.metadata.get("workload", ""),
+        device=device,
+        world_size=world_size,
+        ranks_simulated=len(captures),
+        original=original,
+        replay=replay,
+        report=report,
+    )
+
+
 def compare_workload(
     workload: Workload,
     device: str = "A100",

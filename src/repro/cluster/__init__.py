@@ -1,0 +1,56 @@
+"""``repro.cluster`` — multi-rank distributed replay.
+
+The single-rank pipeline replays one trace at a time; this subsystem
+replays a *fleet* of per-rank traces together under a virtual-time
+collective scheduler, making straggler skew and communication/compute
+overlap first-class measurements:
+
+* :class:`~repro.cluster.rendezvous.CollectiveRendezvous` matches each
+  collective across ranks by (process-group ranks, sequence id, operator
+  name), prices it once, and releases all participants at the same virtual
+  completion time;
+* :class:`~repro.cluster.replica.RankReplica` runs one rank's stage
+  pipeline with the rendezvous-aware
+  :class:`~repro.cluster.replica.SyncCollectivesStage`;
+* :class:`~repro.cluster.engine.ClusterReplayer` pre-flight-matches the
+  fleet, fans the replicas over the service layer's worker pool, and
+  aggregates the :class:`~repro.cluster.engine.ClusterReport` (per-rank
+  exposed-communication time, rendezvous stall, slowest-rank critical
+  path).
+
+The public entry point is :func:`repro.api.replay_cluster`; the CLI
+counterpart is ``python -m repro replay-dist <trace-dir>``.
+"""
+
+from repro.cluster.engine import (
+    ClusterMatchError,
+    ClusterReplayError,
+    ClusterReplayer,
+    ClusterReport,
+    CollectiveMatchReport,
+    RankReport,
+    match_collectives,
+)
+from repro.cluster.replica import RankReplica, SyncCollectivesStage
+from repro.cluster.rendezvous import (
+    CollectiveEvent,
+    CollectiveRendezvous,
+    CollectiveSyncError,
+    RendezvousStats,
+)
+
+__all__ = [
+    "ClusterMatchError",
+    "ClusterReplayError",
+    "ClusterReplayer",
+    "ClusterReport",
+    "CollectiveEvent",
+    "CollectiveMatchReport",
+    "CollectiveRendezvous",
+    "CollectiveSyncError",
+    "RankReplica",
+    "RankReport",
+    "RendezvousStats",
+    "SyncCollectivesStage",
+    "match_collectives",
+]

@@ -1,0 +1,299 @@
+"""Cross-rank collective matching and virtual-time release.
+
+The paper's distributed replay (Section 4.3.2) captures one execution trace
+per rank, from the same iteration, precisely so that the communication
+operators can be *matched* across ranks during replay.  The
+:class:`CollectiveRendezvous` is where that matching happens at replay
+time: every rank replica announces each collective it reaches — identified
+by (process-group ranks, per-group sequence number, operator name) — along
+with the virtual time at which its GPU could start the kernel.  Once every
+participating replica has arrived, the rendezvous
+
+* prices the collective **once** with the shared
+  :class:`~repro.hardware.network.CollectiveCostModel` (all ranks see the
+  same duration, as a real NCCL kernel would),
+* picks one start time — the *latest* arrival, because a collective cannot
+  begin until its slowest participant is ready — and
+* releases every participant with the same (start, duration) pair, i.e. the
+  same virtual completion time.
+
+The gap between a rank's own arrival and the common start time is that
+rank's *stall* (time spent waiting for stragglers), and the spread between
+the earliest and latest arrival is the collective's *skew* — both are
+recorded per event and aggregated into the
+:class:`~repro.cluster.engine.ClusterReport`.
+
+Replicas run on one thread each (see
+:class:`~repro.cluster.engine.ClusterReplayer`); the rendezvous is the only
+synchronisation point between them, and because a collective resolves only
+after **all** participants arrive, the resolved schedule is deterministic
+regardless of thread interleaving.
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.hardware.network import CollectiveCostModel
+
+#: Identity of one collective call site: (sorted group ranks, op name).
+#: Together with a per-rank, per-key sequence number this matches calls
+#: across ranks the way NCCL matches them: by issue order within a group.
+CollectiveKey = Tuple[Tuple[int, ...], str]
+
+
+class CollectiveSyncError(RuntimeError):
+    """A collective could not be matched across the participating replicas
+    (a rank finished or failed without issuing it, or the wait timed out)."""
+
+
+def normalize_op(op_name: str) -> str:
+    """Collective name as matched across ranks (``c10d::all_reduce`` and
+    ``all_reduce`` are the same operator)."""
+    return op_name.split("::")[-1].lower()
+
+
+@dataclass
+class CollectiveEvent:
+    """One resolved (matched and priced) collective."""
+
+    key: CollectiveKey
+    seq: int
+    start_us: float
+    duration_us: float
+    #: rank -> virtual arrival time; the spread is the collective's skew.
+    arrivals: Dict[int, float] = field(default_factory=dict)
+    bytes_per_rank: float = 0.0
+
+    @property
+    def skew_us(self) -> float:
+        if len(self.arrivals) < 2:
+            return 0.0
+        times = self.arrivals.values()
+        return max(times) - min(times)
+
+    def stall_us(self, rank: int) -> float:
+        """Time ``rank`` spent waiting for the other participants."""
+        arrival = self.arrivals.get(rank)
+        if arrival is None:
+            return 0.0
+        return max(0.0, self.start_us - arrival)
+
+
+@dataclass
+class _Pending:
+    """A collective some (but not yet all) participants have reached."""
+
+    expected: frozenset
+    arrivals: Dict[int, float] = field(default_factory=dict)
+    bytes_per_rank: float = 0.0
+    resolved: Optional[Tuple[float, Optional[float]]] = None
+    failed: Optional[str] = None
+    #: Participants that have not yet read the resolution; the slot is
+    #: dropped once the last one consumes it, so the pending map stays
+    #: bounded by in-flight collectives rather than growing with
+    #: iterations x collectives.
+    consumers: set = field(default_factory=set)
+
+
+class CollectiveRendezvous:
+    """Matches, prices and releases collectives across rank replicas.
+
+    Parameters
+    ----------
+    cost_model:
+        The shared interconnect model; each matched collective is priced
+        through it exactly once.
+    participants:
+        The ranks being co-replayed.  A collective recorded over group
+        ``G`` waits for ``G ∩ participants`` — replaying a subset of a
+        fleet (symmetric data-parallel ranks) therefore still synchronises
+        correctly among the replicas that exist.
+    timeout_s:
+        Real-time cap on one rendezvous wait.  The pre-flight match check
+        (:func:`repro.cluster.engine.match_collectives`) makes a genuine
+        mismatch almost impossible; the timeout is the last-resort guard
+        against hangs.
+    """
+
+    def __init__(
+        self,
+        cost_model: CollectiveCostModel,
+        participants: Sequence[int],
+        timeout_s: float = 60.0,
+    ) -> None:
+        self.cost_model = cost_model
+        self.participants = frozenset(int(r) for r in participants)
+        self.timeout_s = timeout_s
+        self._cond = threading.Condition()
+        self._seq: Dict[Tuple[int, CollectiveKey], int] = {}
+        self._pending: Dict[Tuple[CollectiveKey, int], _Pending] = {}
+        self._retired: set = set()
+        self.events: List[CollectiveEvent] = []
+
+    # ------------------------------------------------------------------
+    def sync(
+        self,
+        rank: int,
+        op: str,
+        group_ranks: Sequence[int],
+        bytes_per_rank: float,
+        arrival_us: float,
+    ) -> Tuple[float, Optional[float]]:
+        """Announce a collective and block until all participants arrive.
+
+        Returns ``(start_us, duration_us)`` shared by every participant.
+        ``duration_us`` is ``None`` for degenerate singleton groups (a
+        local no-op, priced by the kernel cost model as a memcpy).
+        """
+        key: CollectiveKey = (tuple(sorted(int(r) for r in group_ranks)), normalize_op(op))
+        expected = frozenset(key[0]) & self.participants
+        with self._cond:
+            seq = self._seq.get((rank, key), 0)
+            self._seq[(rank, key)] = seq + 1
+            if len(expected) <= 1:
+                # Only this replica participates (the rest of the recorded
+                # group is not being replayed): nothing to wait for, but the
+                # collective is still priced at the recorded group size.
+                duration = self._price(key, bytes_per_rank)
+                self._record(key, seq, arrival_us, duration, {rank: arrival_us}, bytes_per_rank)
+                return arrival_us, duration
+
+            slot = (key, seq)
+            pending = self._pending.get(slot)
+            if pending is None:
+                pending = _Pending(expected=expected, consumers=set(expected))
+                self._pending[slot] = pending
+            pending.arrivals[rank] = arrival_us
+            pending.bytes_per_rank = max(pending.bytes_per_rank, bytes_per_rank)
+
+            if set(pending.arrivals) >= pending.expected:
+                start = max(pending.arrivals.values())
+                duration = self._price(key, pending.bytes_per_rank)
+                pending.resolved = (start, duration)
+                self._record(key, seq, start, duration, dict(pending.arrivals), pending.bytes_per_rank)
+                self._cond.notify_all()
+            else:
+                missing = pending.expected - set(pending.arrivals) - self._retired
+                if not missing:
+                    pending.failed = self._mismatch_message(key, seq, pending)
+                    self._cond.notify_all()
+
+            waited = self._cond.wait_for(
+                lambda: pending.resolved is not None or pending.failed is not None,
+                timeout=self.timeout_s,
+            )
+            if pending.failed is not None:
+                raise CollectiveSyncError(pending.failed)
+            if not waited:
+                raise CollectiveSyncError(
+                    f"rendezvous timed out after {self.timeout_s}s waiting for "
+                    f"{sorted(pending.expected - set(pending.arrivals))} on collective "
+                    f"{key[1]}[{seq}] over ranks {list(key[0])}"
+                )
+            assert pending.resolved is not None
+            pending.consumers.discard(rank)
+            if not pending.consumers:
+                del self._pending[slot]
+            return pending.resolved
+
+    # ------------------------------------------------------------------
+    def retire(self, rank: int) -> None:
+        """A replica finished (or failed): any collective still waiting on
+        it can never resolve — fail those waiters instead of hanging."""
+        with self._cond:
+            self._retired.add(int(rank))
+            for (key, seq), pending in self._pending.items():
+                if pending.resolved is not None or pending.failed is not None:
+                    continue
+                if not pending.arrivals:
+                    continue
+                missing = pending.expected - set(pending.arrivals) - self._retired
+                if not missing:
+                    pending.failed = self._mismatch_message(key, seq, pending)
+            self._cond.notify_all()
+
+    # ------------------------------------------------------------------
+    def stats(
+        self, measure_start_by_rank: Optional[Dict[int, float]] = None
+    ) -> "RendezvousStats":
+        """Aggregate view of the resolved collectives (thread-safe).
+
+        With ``measure_start_by_rank`` given, only collectives inside the
+        measured region count — an event is measured when every
+        participant arrived at or after its own measurement window start —
+        so warm-up iterations do not inflate stall, skew or the matched
+        count (every other reported metric is windowed the same way).
+        """
+        with self._cond:
+            events = list(self.events)
+        if measure_start_by_rank is not None:
+            events = [
+                event
+                for event in events
+                if all(
+                    arrival >= measure_start_by_rank.get(rank, 0.0)
+                    for rank, arrival in event.arrivals.items()
+                )
+            ]
+        stall: Dict[int, float] = {rank: 0.0 for rank in self.participants}
+        skews = []
+        for event in events:
+            skews.append(event.skew_us)
+            for rank in event.arrivals:
+                stall[rank] = stall.get(rank, 0.0) + event.stall_us(rank)
+        return RendezvousStats(
+            matched=len(events),
+            max_skew_us=max(skews, default=0.0),
+            mean_skew_us=(sum(skews) / len(skews)) if skews else 0.0,
+            stall_us_by_rank=stall,
+        )
+
+    # ------------------------------------------------------------------
+    def _price(self, key: CollectiveKey, bytes_per_rank: float) -> Optional[float]:
+        group_size = len(key[0])
+        if group_size <= 1:
+            # Degenerate singleton "collective": free of alpha-beta cost.
+            return None
+        return self.cost_model.collective_us(key[1], bytes_per_rank, group_size)
+
+    def _record(
+        self,
+        key: CollectiveKey,
+        seq: int,
+        start: float,
+        duration: Optional[float],
+        arrivals: Dict[int, float],
+        bytes_per_rank: float,
+    ) -> None:
+        self.events.append(
+            CollectiveEvent(
+                key=key,
+                seq=seq,
+                start_us=start,
+                duration_us=duration if duration is not None else 0.0,
+                arrivals=arrivals,
+                bytes_per_rank=bytes_per_rank,
+            )
+        )
+
+    @staticmethod
+    def _mismatch_message(key: CollectiveKey, seq: int, pending: _Pending) -> str:
+        missing = sorted(pending.expected - set(pending.arrivals))
+        return (
+            f"collective {key[1]}[{seq}] over ranks {list(key[0])} can never complete: "
+            f"participant(s) {missing} finished their trace without issuing it "
+            f"(arrived: {sorted(pending.arrivals)})"
+        )
+
+
+@dataclass
+class RendezvousStats:
+    """Scalar aggregates over all resolved collectives of one co-replay."""
+
+    matched: int = 0
+    max_skew_us: float = 0.0
+    mean_skew_us: float = 0.0
+    stall_us_by_rank: Dict[int, float] = field(default_factory=dict)

@@ -1,0 +1,129 @@
+"""One rank of a multi-rank co-replay.
+
+A :class:`RankReplica` wraps a single per-rank
+:class:`~repro.core.pipeline.ReplayPipeline` run.  Its pipeline is the
+standard seven-stage pipeline with one substitution: the single-rank
+``init-comms`` stage is replaced by :class:`SyncCollectivesStage`, which —
+in addition to creating the runtime and pre-creating the recorded process
+groups exactly as ``init-comms`` does — attaches the fleet's shared
+:class:`~repro.cluster.rendezvous.CollectiveRendezvous` to the replica's
+distributed context.  From then on every collective the replica replays
+synchronises with its peers instead of being priced purely locally.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace as dataclass_replace
+from typing import Any, Dict, Optional, Sequence
+
+from repro.core.comms_replay import CommReplayManager
+from repro.core.pipeline import (
+    ReplayContext,
+    ReplayHook,
+    ReplayPipeline,
+    ReplayStage,
+    make_replay_runtime,
+)
+from repro.core.registry import ReplaySupport
+from repro.core.replayer import ReplayConfig, ReplayResult
+from repro.cluster.rendezvous import CollectiveRendezvous
+from repro.et.trace import ExecutionTrace
+from repro.torchsim.profiler import ProfilerTrace
+
+
+class SyncCollectivesStage(ReplayStage):
+    """Cluster-aware replacement for the single-rank ``init-comms`` stage.
+
+    Same duties (create the runtime if the caller did not inject one,
+    pre-create every recorded process group outside the measured region),
+    plus one more: wire the replica's distributed context to the shared
+    rendezvous so its collectives are matched, priced once, and released at
+    a common virtual completion time across ranks.
+    """
+
+    name = "sync-collectives"
+
+    def __init__(self, rendezvous: CollectiveRendezvous) -> None:
+        self.rendezvous = rendezvous
+
+    def run(self, context: ReplayContext) -> None:
+        if context.runtime is None:
+            context.runtime = make_replay_runtime(context.trace, context.config)
+        if context.runtime.dist is not None:
+            comm_manager = CommReplayManager(context.runtime.dist, context.config.remap_world_size)
+            comm_manager.ensure_groups(CommReplayManager.extract(context.trace))
+            context.runtime.dist.rendezvous = self.rendezvous
+
+
+@dataclass
+class RankReplica:
+    """One rank's trace, config and pipeline inside a cluster replay."""
+
+    rank: int
+    trace: ExecutionTrace
+    config: ReplayConfig
+    rendezvous: CollectiveRendezvous
+    profiler_trace: Optional[ProfilerTrace] = None
+    support: Optional[ReplaySupport] = None
+    hooks: Sequence[ReplayHook] = field(default_factory=tuple)
+    result: Optional[ReplayResult] = None
+    error: Optional[str] = None
+    #: Virtual start of this rank's measured region (set by :meth:`run`);
+    #: the engine uses it to window rendezvous stall/skew statistics the
+    #: same way every other metric is windowed.
+    measure_start_us: float = 0.0
+    extras: Dict[str, Any] = field(default_factory=dict)
+
+    @classmethod
+    def from_trace(
+        cls,
+        trace: ExecutionTrace,
+        rendezvous: CollectiveRendezvous,
+        config: ReplayConfig,
+        profiler_trace: Optional[ProfilerTrace] = None,
+        overrides: Optional[Dict[str, Any]] = None,
+        support: Optional[ReplaySupport] = None,
+        hooks: Optional[Sequence[ReplayHook]] = None,
+    ) -> "RankReplica":
+        """Build a replica for ``trace``, with the config's ``rank`` pinned
+        to the trace's recorded rank (plus optional per-rank overrides —
+        e.g. a power cap on one rank to model a straggler)."""
+        rank = int(trace.metadata.get("rank", 0))
+        rank_config = dataclass_replace(config, rank=rank, **(overrides or {}))
+        return cls(
+            rank=rank,
+            trace=trace,
+            config=rank_config,
+            rendezvous=rendezvous,
+            profiler_trace=profiler_trace,
+            support=support,
+            hooks=tuple(hooks or ()),
+        )
+
+    # ------------------------------------------------------------------
+    def build_pipeline(self) -> ReplayPipeline:
+        """The standard stage pipeline with ``init-comms`` swapped for the
+        rendezvous-aware :class:`SyncCollectivesStage`."""
+        return ReplayPipeline.default().replace(
+            "init-comms", SyncCollectivesStage(self.rendezvous)
+        )
+
+    def run(self) -> ReplayResult:
+        """Replay this rank; always retires the rank from the rendezvous so
+        peers waiting on it fail fast instead of hanging."""
+        context = ReplayContext(
+            trace=self.trace,
+            profiler_trace=self.profiler_trace,
+            config=self.config,
+            support=self.support,
+            hooks=list(self.hooks),
+        )
+        try:
+            self.result = self.build_pipeline().run(context)
+            self.measure_start_us = context.measure_start_us
+        except BaseException as error:  # noqa: BLE001 - recorded, then re-raised
+            self.error = f"{type(error).__name__}: {error}"
+            raise
+        finally:
+            self.rendezvous.retire(self.rank)
+        return self.result

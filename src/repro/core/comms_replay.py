@@ -101,6 +101,13 @@ class CommReplayManager:
         keeping a valid group structure.  Without it the recorded group is
         used verbatim, so the collective cost model still prices the
         original group size — the basis of the scale-down emulation.
+
+        Folding can collapse a recorded group onto a **single** rank (any
+        group replayed with ``remap_to_world_size=1``, or a sub-world
+        group whose ranks are congruent modulo the replay world).  Such a
+        singleton "collective" has nothing to exchange; the collective
+        operators price it as a free local no-op (no alpha-beta cost)
+        instead of consulting the interconnect model.
         """
         if not recorded_group:
             return None

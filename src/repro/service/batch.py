@@ -43,6 +43,19 @@ from repro.service.repository import TraceRecord
 BACKENDS = ("thread", "process", "serial")
 
 
+def make_worker_pool(backend: str, max_workers: int):
+    """Executor factory shared by the batch layer and the cluster engine.
+
+    ``"serial"`` has no executor (callers loop in-process); only pooled
+    backends are valid here.
+    """
+    if backend == "thread":
+        return ThreadPoolExecutor(max_workers=max_workers)
+    if backend == "process":
+        return ProcessPoolExecutor(max_workers=max_workers)
+    raise ValueError(f"no worker pool for backend {backend!r}; choose 'thread' or 'process'")
+
+
 @dataclass
 class ReplayJob:
     """One unit of batch work: replay the trace at ``trace_path`` under
@@ -211,7 +224,7 @@ class BatchReplayer:
         self, jobs: Sequence[ReplayJob], pending: List[int], results: List[Optional[ReplayJobResult]]
     ) -> None:
         """Ship each job as (path, config dict, digest) to a process pool."""
-        with ProcessPoolExecutor(max_workers=self.max_workers) as executor:
+        with make_worker_pool("process", self.max_workers) as executor:
             futures: Dict[int, Future] = {
                 index: executor.submit(
                     _execute_job,
@@ -260,7 +273,7 @@ class BatchReplayer:
                     results[index] = self._from_payload(job, payload)
             return
 
-        with ThreadPoolExecutor(max_workers=self.max_workers) as executor:
+        with make_worker_pool("thread", self.max_workers) as executor:
             futures = {
                 index: executor.submit(
                     _replay_trace, traces[str(jobs[index].trace_path)], jobs[index].config.to_dict()

@@ -1,15 +1,22 @@
 """``python -m repro`` — the batch orchestration command line.
 
-Three subcommands drive the service layer:
+Five subcommands drive the service layer:
 
 ``list-traces``
     Discover and validate the traces in a repository directory.
 ``replay``
     Replay one or more traces under a single configuration, through the
     worker pool and the result cache.
+``replay-dist``
+    Co-replay a directory of per-rank traces as one fleet through the
+    multi-rank cluster engine (virtual-time collective scheduler) and
+    print the per-rank / critical-path report.
 ``sweep``
     Cross product of traces x devices x config axes (power limits,
     communication-delay scales, iterations ...), batched and cached.
+``version``
+    Print the package version (also ``repro --version``), so batch logs
+    are attributable to a build.
 
 Replays are executed through the :mod:`repro.api` facade (and therefore
 the stage pipeline); ``--iterations``/``--warmup`` pass straight through
@@ -22,8 +29,10 @@ Examples
 
     python -m repro list-traces --repo traces/
     python -m repro replay --repo traces/ --trace rm_et --device A100 -n 3
+    python -m repro replay-dist traces/rm_4rank/ --device A100 -n 2
     python -m repro sweep --repo traces/ --device A100 --device NewPlatform \\
         --power-limit 250 --power-limit 400 --cache .repro-cache --workers 4
+    python -m repro version
 
 Every command exits 0 on success, 1 when any job failed, and 2 on usage
 errors (argparse's convention).
@@ -73,6 +82,27 @@ def build_parser() -> argparse.ArgumentParser:
     _add_config_arguments(replay_parser)
     replay_parser.add_argument("--json", action="store_true", help="emit JSON instead of a table")
 
+    dist_parser = subparsers.add_parser(
+        "replay-dist",
+        help="co-replay a directory of per-rank traces as one fleet (cluster engine)",
+    )
+    dist_parser.add_argument(
+        "trace_dir", metavar="TRACE_DIR",
+        help="directory holding one serialised execution trace per rank "
+             "(e.g. written by DistributedRunner.save_captures)",
+    )
+    dist_parser.add_argument("--device", default="A100", help="device spec name (default: A100)")
+    dist_parser.add_argument(
+        "--world", type=int, default=None, metavar="N",
+        help="world size collectives are priced at (default: the traces' recorded world size)",
+    )
+    dist_parser.add_argument(
+        "--timeout", type=float, default=60.0, metavar="SECONDS",
+        help="rendezvous guard against mismatched fleets (default: 60)",
+    )
+    _add_config_arguments(dist_parser)
+    dist_parser.add_argument("--json", action="store_true", help="emit JSON instead of a table")
+
     sweep_parser = subparsers.add_parser(
         "sweep", help="cross-device / cross-config sweep over a trace repository"
     )
@@ -96,6 +126,8 @@ def build_parser() -> argparse.ArgumentParser:
     )
     _add_config_arguments(sweep_parser)
     sweep_parser.add_argument("--json", action="store_true", help="emit JSON instead of tables")
+
+    subparsers.add_parser("version", help="print the package version")
 
     return parser
 
@@ -178,6 +210,35 @@ def _cmd_replay(args: argparse.Namespace) -> int:
     return _run_sweep(args, spec)
 
 
+def _cmd_replay_dist(args: argparse.Namespace) -> int:
+    from repro.bench.aggregate import format_cluster_report
+    from repro.cluster.engine import ClusterMatchError, ClusterReplayError
+
+    session = (
+        api.replay_cluster(args.trace_dir)
+        .on(args.device)
+        .iterations(args.iterations, warmup=args.warmup)
+        .timeout(args.timeout)
+    )
+    if args.world is not None:
+        session.world(args.world)
+    try:
+        report = session.run()
+    except (ClusterMatchError, ClusterReplayError, OSError) as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 1
+    if args.json:
+        print(json.dumps(report.to_dict(), indent=2))
+    else:
+        print(format_cluster_report(report))
+    return 0
+
+
+def _cmd_version(args: argparse.Namespace) -> int:
+    print(f"repro {__version__}")
+    return 0
+
+
 def _cmd_sweep(args: argparse.Namespace) -> int:
     axes = {}
     if args.power_limit:
@@ -242,7 +303,9 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     handlers = {
         "list-traces": _cmd_list_traces,
         "replay": _cmd_replay,
+        "replay-dist": _cmd_replay_dist,
         "sweep": _cmd_sweep,
+        "version": _cmd_version,
     }
     return handlers[args.command](args)
 

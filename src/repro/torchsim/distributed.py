@@ -99,6 +99,16 @@ class DistributedContext:
         self._pg_counter = itertools.count(1)
         self.default_group = ProcessGroup(0, tuple(range(world_size)), backend)
         self.groups: Dict[int, ProcessGroup] = {0: self.default_group}
+        #: (ranks, backend) -> group, so trace replays with many process
+        #: groups resolve recorded descriptions in O(1) per collective
+        #: instead of scanning every group.
+        self._group_index: Dict[Tuple[Tuple[int, ...], str], ProcessGroup] = {
+            (self.default_group.ranks, self.default_group.backend): self.default_group
+        }
+        #: Cross-rank collective scheduler for multi-rank co-replay; when
+        #: set (see :mod:`repro.cluster`), collectives synchronise through
+        #: it instead of being priced purely locally.
+        self.rendezvous: Optional[object] = None
 
     # ------------------------------------------------------------------
     def new_group(self, ranks: Sequence[int], backend: Optional[str] = None) -> ProcessGroup:
@@ -109,6 +119,7 @@ class DistributedContext:
             backend=backend or self.backend,
         )
         self.groups[group.pg_id] = group
+        self._group_index.setdefault((group.ranks, group.backend), group)
         return group
 
     def get_group(self, pg_id: int) -> ProcessGroup:
@@ -125,7 +136,7 @@ class DistributedContext:
         """
         ranks = tuple(int(r) for r in description.get("ranks", range(self.world_size)))
         backend = str(description.get("backend", self.backend))
-        for group in self.groups.values():
-            if group.ranks == ranks and group.backend == backend:
-                return group
+        existing = self._group_index.get((ranks, backend))
+        if existing is not None:
+            return existing
         return self.new_group(ranks, backend)

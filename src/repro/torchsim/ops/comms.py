@@ -36,13 +36,44 @@ def _collective(
     """Shared implementation of the collective operators."""
     total_bytes = float(sum(t.nbytes for t in tensors))
     dist = ctx.dist
+    # NCCL kernels run on their own stream by default, but an explicit
+    # stream scope (set by the replayer from the profiler trace) wins.
+    stream_id = ctx.current_stream if ctx.runtime.stream_override_active else COMM_STREAM
+    # The collective reads tensors produced by compute kernels, so it cannot
+    # start before the compute stream has drained the work enqueued so far
+    # (it still overlaps with compute enqueued *after* it — that is what
+    # hides communication behind backward computation in DDP).
+    start_not_before = ctx.compute_stream_ready()
     if dist is None or dist.world_size <= 1:
         world_size = 1
         duration = None  # local no-op, let the cost model price the memcpy
     else:
         group = dist.group_for_description(pg) if pg else dist.default_group
         world_size = group.size
-        duration = dist.collective_model.collective_us(op_name, total_bytes, world_size)
+        if world_size <= 1:
+            # A group folded down to a single rank (e.g. by the replay-side
+            # rank remapping) has nothing to exchange: price it as a local
+            # no-op memcpy, not an alpha-beta collective.
+            duration = None
+        elif dist.rendezvous is not None:
+            # Multi-rank co-replay: match this collective with the other
+            # participating ranks and let the shared virtual-time scheduler
+            # pick one start time and one duration for all of them.
+            arrival = max(
+                ctx.runtime.now(),
+                start_not_before,
+                ctx.runtime.gpu.stream_ready_time(stream_id),
+            )
+            start, duration = dist.rendezvous.sync(
+                rank=dist.rank,
+                op=op_name,
+                group_ranks=group.ranks,
+                bytes_per_rank=total_bytes,
+                arrival_us=arrival,
+            )
+            start_not_before = max(start_not_before, start)
+        else:
+            duration = dist.collective_model.collective_us(op_name, total_bytes, world_size)
 
     desc = KernelDesc(
         name=kernel_name,
@@ -57,19 +88,12 @@ def _collective(
             "dtype": tensors[0].dtype.type_name if tensors else "float32",
         },
     )
-    # NCCL kernels run on their own stream by default, but an explicit
-    # stream scope (set by the replayer from the profiler trace) wins.
-    stream_id = ctx.current_stream if ctx.runtime.stream_override_active else COMM_STREAM
-    # The collective reads tensors produced by compute kernels, so it cannot
-    # start before the compute stream has drained the work enqueued so far
-    # (it still overlaps with compute enqueued *after* it — that is what
-    # hides communication behind backward computation in DDP).
     launch = ctx.launch(
         desc,
         stream_id=stream_id,
         duration_us=duration,
         blocking=not async_op,
-        start_not_before=ctx.compute_stream_ready(),
+        start_not_before=start_not_before,
     )
     if async_op:
         return ctx.async_work(launch)
@@ -133,20 +157,40 @@ def c10d_broadcast(ctx, tensors: Sequence[Tensor], src: int = 0, pg=None, async_
 )
 def c10d_barrier(ctx, pg=None, async_op: bool = False):
     dist = ctx.dist
+    start_not_before = None
     if dist is None or dist.world_size <= 1:
         duration = 2.0
         world_size = 1
     else:
         group = dist.group_for_description(pg) if pg else dist.default_group
         world_size = group.size
-        duration = dist.collective_model.barrier_us(world_size)
+        if world_size <= 1:
+            duration = 2.0
+        elif dist.rendezvous is not None:
+            arrival = max(ctx.runtime.now(), ctx.runtime.gpu.stream_ready_time(COMM_STREAM))
+            start, duration = dist.rendezvous.sync(
+                rank=dist.rank,
+                op="barrier",
+                group_ranks=group.ranks,
+                bytes_per_rank=0.0,
+                arrival_us=arrival,
+            )
+            start_not_before = start
+        else:
+            duration = dist.collective_model.barrier_us(world_size)
     desc = KernelDesc(
         name="ncclKernel_Barrier",
         kind=KernelKind.COLLECTIVE,
         occupancy=0.05,
         metadata={"world_size": world_size},
     )
-    launch = ctx.launch(desc, stream_id=COMM_STREAM, duration_us=duration, blocking=not async_op)
+    launch = ctx.launch(
+        desc,
+        stream_id=COMM_STREAM,
+        duration_us=duration,
+        blocking=not async_op,
+        start_not_before=start_not_before,
+    )
     if async_op:
         return ctx.async_work(launch)
     return None

@@ -18,7 +18,8 @@ changing any measured per-rank quantity.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Optional
+from pathlib import Path
+from typing import Callable, Dict, List, Optional, Union
 
 from repro.hardware.counters import SystemMetrics, compute_system_metrics
 from repro.hardware.gpu import TimelineStats
@@ -126,6 +127,26 @@ class DistributedRunner:
         """Capture traces from ``ranks_to_simulate`` ranks (default: all)."""
         count = self.world_size if ranks_to_simulate is None else min(ranks_to_simulate, self.world_size)
         return [self.run_rank(rank) for rank in range(count)]
+
+    # ------------------------------------------------------------------
+    @staticmethod
+    def save_captures(
+        captures: List[RankCapture], directory: Union[str, Path]
+    ) -> List[Path]:
+        """Serialise each rank's execution trace into ``directory``.
+
+        One ``rank<NNN>_et.json`` file per rank — the on-disk fleet format
+        ``python -m repro replay-dist`` and
+        :meth:`repro.cluster.ClusterReplayer.load_fleet` consume.
+        """
+        root = Path(directory)
+        root.mkdir(parents=True, exist_ok=True)
+        paths: List[Path] = []
+        for capture in captures:
+            path = root / f"rank{capture.rank:03d}_et.json"
+            capture.execution_trace.save(path)
+            paths.append(path)
+        return paths
 
     # ------------------------------------------------------------------
     @staticmethod

@@ -1,0 +1,448 @@
+"""Tests for the multi-rank distributed replay engine (``repro.cluster``).
+
+Covers the rendezvous matching/pricing semantics, the pre-flight fleet
+match, the engine's aggregation (exposed-comm time, stall, critical path),
+the single-replica equivalence with the single-rank pipeline, straggler
+modelling, the ``repro.api.replay_cluster`` facade, and the
+``python -m repro replay-dist`` CLI — including the 4-rank DDP smoke
+replay the acceptance criteria call for.
+"""
+
+from __future__ import annotations
+
+import copy
+import json
+from dataclasses import replace as dataclass_replace
+
+import pytest
+
+import repro.api as api
+from repro.bench.aggregate import format_cluster_report
+from repro.bench.harness import compare_distributed
+from repro.cluster import (
+    ClusterMatchError,
+    ClusterReplayer,
+    CollectiveRendezvous,
+    CollectiveSyncError,
+    match_collectives,
+)
+from repro.cluster.rendezvous import normalize_op
+from repro.core.pipeline import run_replay
+from repro.core.replayer import ReplayConfig
+from repro.et.analyzer import CATEGORY_COMMS, categorize_node
+from repro.hardware.network import CollectiveCostModel, InterconnectSpec
+from repro.service.cli import main as cli_main
+from repro.torchsim.distributed import DistributedContext
+from repro.torchsim.runtime import Runtime
+from repro.workloads.ddp import DistributedRunner
+from tests.conftest import make_small_rm
+
+WORLD = 4
+
+
+@pytest.fixture(scope="module")
+def fleet_captures():
+    """One 4-rank DDP-RM capture set, shared across the module's tests."""
+    runner = DistributedRunner(
+        lambda rank, world: make_small_rm(rank=rank, world_size=world),
+        world_size=WORLD,
+    )
+    return runner.run()
+
+
+@pytest.fixture
+def fleet_traces(fleet_captures):
+    return [capture.execution_trace for capture in fleet_captures]
+
+
+# ----------------------------------------------------------------------
+# Rendezvous
+# ----------------------------------------------------------------------
+class TestCollectiveRendezvous:
+    def make(self, participants=(0,), timeout_s=2.0):
+        return CollectiveRendezvous(
+            CollectiveCostModel(InterconnectSpec()), participants, timeout_s=timeout_s
+        )
+
+    def test_normalize_op(self):
+        assert normalize_op("c10d::all_reduce") == "all_reduce"
+        assert normalize_op("ALL_REDUCE") == "all_reduce"
+
+    def test_sole_participant_resolves_immediately(self):
+        rendezvous = self.make(participants=(0,))
+        start, duration = rendezvous.sync(0, "all_reduce", range(8), 1 << 20, arrival_us=100.0)
+        assert start == 100.0
+        # Priced at the *recorded* group size, exactly as the single-rank
+        # pipeline would price it.
+        expected = CollectiveCostModel(InterconnectSpec()).collective_us(
+            "all_reduce", float(1 << 20), 8
+        )
+        assert duration == pytest.approx(expected)
+
+    def test_singleton_group_is_free(self):
+        rendezvous = self.make(participants=(0, 1))
+        start, duration = rendezvous.sync(0, "all_reduce", [0], 1 << 20, arrival_us=5.0)
+        assert start == 5.0
+        assert duration is None  # local no-op; the kernel model prices a memcpy
+
+    def test_two_participants_release_at_common_time(self):
+        rendezvous = self.make(participants=(0, 1))
+        results = {}
+
+        import threading
+
+        def participant(rank, arrival):
+            results[rank] = rendezvous.sync(rank, "all_reduce", [0, 1], 1 << 20, arrival)
+
+        threads = [
+            threading.Thread(target=participant, args=(0, 10.0)),
+            threading.Thread(target=participant, args=(1, 50.0)),
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert results[0] == results[1]
+        start, duration = results[0]
+        assert start == 50.0  # the slowest participant's arrival
+        assert duration is not None and duration > 0
+        stats = rendezvous.stats()
+        assert stats.matched == 1
+        assert stats.max_skew_us == pytest.approx(40.0)
+        assert stats.stall_us_by_rank[0] == pytest.approx(40.0)
+        assert stats.stall_us_by_rank[1] == pytest.approx(0.0)
+
+    def test_retired_participant_fails_waiters(self):
+        rendezvous = self.make(participants=(0, 1), timeout_s=5.0)
+        rendezvous.retire(1)
+        with pytest.raises(CollectiveSyncError, match="finished their trace"):
+            rendezvous.sync(0, "all_reduce", [0, 1], 1024, arrival_us=0.0)
+
+    def test_timeout_guards_against_hangs(self):
+        rendezvous = self.make(participants=(0, 1), timeout_s=0.05)
+        with pytest.raises(CollectiveSyncError, match="timed out"):
+            rendezvous.sync(0, "all_reduce", [0, 1], 1024, arrival_us=0.0)
+
+
+# ----------------------------------------------------------------------
+# Pre-flight matching
+# ----------------------------------------------------------------------
+class TestMatchCollectives:
+    def test_symmetric_fleet_fully_matches(self, fleet_traces):
+        report = match_collectives(fleet_traces)
+        assert report.ok
+        assert report.unmatched == []
+        assert report.matched > 0
+        # Every rank records the same number of collectives.
+        assert len(set(report.per_rank_counts.values())) == 1
+
+    def test_missing_collective_is_reported(self, fleet_traces):
+        tampered = [copy.deepcopy(trace) for trace in fleet_traces]
+        victim = tampered[2]
+        comm_ids = [n.id for n in victim.operators() if categorize_node(n) == CATEGORY_COMMS]
+        victim.nodes = [n for n in victim.nodes if n.id != comm_ids[0]]
+        report = match_collectives(tampered)
+        assert not report.ok
+        assert any("rank(s) [2]" in line for line in report.unmatched)
+
+    def test_strict_engine_refuses_mismatched_fleet(self, fleet_traces):
+        tampered = [copy.deepcopy(trace) for trace in fleet_traces]
+        comm_ids = [
+            n.id for n in tampered[0].operators() if categorize_node(n) == CATEGORY_COMMS
+        ]
+        tampered[0].nodes = [n for n in tampered[0].nodes if n.id != comm_ids[-1]]
+        with pytest.raises(ClusterMatchError, match="cannot be matched"):
+            ClusterReplayer(ReplayConfig(device="A100")).replay(tampered)
+
+
+# ----------------------------------------------------------------------
+# The engine
+# ----------------------------------------------------------------------
+class TestClusterReplayer:
+    def test_four_rank_ddp_smoke_replay(self, fleet_captures):
+        """The acceptance-criteria scenario: a 4-rank DDP-RM fleet replays
+        with every collective matched and the report fully populated."""
+        report = ClusterReplayer(ReplayConfig(device="A100")).replay(fleet_captures)
+        assert report.num_replicas == WORLD
+        assert report.world_size == WORLD
+        assert report.unmatched_collectives == 0
+        assert report.matched_collectives > 0
+        assert [r.rank for r in report.ranks] == list(range(WORLD))
+        for rank in report.ranks:
+            assert rank.summary.replayed_ops > 0
+            assert rank.comm_time_us > 0
+            assert rank.exposed_comm_us > 0  # per-rank exposed-comm time
+            assert rank.exposed_comm_us <= rank.comm_time_us + 1e-9
+        # Slowest-rank critical path.
+        assert report.critical_path_us == max(
+            r.mean_iteration_time_us for r in report.ranks
+        )
+        assert report.straggler_rank in range(WORLD)
+
+    def test_world_size_one_cluster_equals_single_rank_pipeline(self, fleet_captures):
+        """A one-replica cluster replay is result-identical to the
+        existing single-rank ``ReplayPipeline`` run of the same trace."""
+        capture = fleet_captures[1]
+        single = run_replay(
+            capture.execution_trace,
+            config=dataclass_replace(ReplayConfig(device="A100"), rank=capture.rank),
+            profiler_trace=capture.profiler_trace,
+        )
+        cluster = ClusterReplayer(ReplayConfig(device="A100")).replay([capture])
+        assert cluster.num_replicas == 1
+        assert cluster.ranks[0].summary == single.summarize()
+
+    def test_deterministic_across_runs(self, fleet_captures):
+        replayer = ClusterReplayer(ReplayConfig(device="A100"))
+        first = replayer.replay(fleet_captures)
+        second = ClusterReplayer(ReplayConfig(device="A100")).replay(fleet_captures)
+        assert first.to_dict() == second.to_dict()
+
+    def test_straggler_override_shows_up_in_stall_and_critical_path(self, fleet_captures):
+        base = ClusterReplayer(ReplayConfig(device="A100")).replay(fleet_captures)
+        slow = ClusterReplayer(ReplayConfig(device="A100")).replay(
+            fleet_captures, rank_overrides={0: {"device": "V100"}}
+        )
+        assert slow.straggler_rank == 0
+        assert slow.critical_path_us > base.critical_path_us
+        assert slow.max_skew_us > 0
+        # The fast ranks stall inside the rendezvous waiting for rank 0.
+        for rank in slow.ranks:
+            if rank.rank != 0:
+                assert rank.stall_us > 0
+
+    def test_fleet_from_saved_traces_on_disk(self, fleet_captures, tmp_path):
+        paths = DistributedRunner.save_captures(fleet_captures, tmp_path)
+        assert len(paths) == WORLD
+        from_disk = ClusterReplayer(ReplayConfig(device="A100")).replay(
+            ClusterReplayer.load_fleet(tmp_path)
+        )
+        in_memory = ClusterReplayer(ReplayConfig(device="A100")).replay(
+            [c.execution_trace for c in fleet_captures]
+        )
+        assert from_disk.to_dict() == in_memory.to_dict()
+
+    def test_report_to_dict_and_formatting(self, fleet_captures):
+        report = ClusterReplayer(ReplayConfig(device="A100")).replay(fleet_captures)
+        data = report.to_dict()
+        for key in (
+            "critical_path_us",
+            "straggler_rank",
+            "mean_exposed_comm_us",
+            "matched_collectives",
+            "unmatched_collectives",
+            "ranks",
+        ):
+            assert key in data
+        json.dumps(data)  # JSON-serialisable throughout
+        text = format_cluster_report(report)
+        assert "critical path" in text
+        assert "exposed_comm_ms" in text
+
+    # ------------------------------------------------------------------
+    # Error paths
+    # ------------------------------------------------------------------
+    def test_empty_fleet_is_rejected(self):
+        with pytest.raises(ClusterMatchError, match="empty fleet"):
+            ClusterReplayer().replay([])
+
+    def test_duplicate_ranks_are_rejected(self, fleet_traces):
+        with pytest.raises(ClusterMatchError, match="duplicate ranks"):
+            ClusterReplayer().replay([fleet_traces[0], fleet_traces[0]])
+
+    def test_serial_backend_rejects_multi_rank_fleets(self, fleet_traces):
+        with pytest.raises(ValueError, match="serial"):
+            ClusterReplayer(backend="serial").replay(fleet_traces)
+
+    def test_unknown_rank_override_is_rejected(self, fleet_traces):
+        with pytest.raises(ClusterMatchError, match="rank_overrides"):
+            ClusterReplayer().replay(fleet_traces, rank_overrides={9: {"device": "V100"}})
+
+    def test_unknown_backend_is_rejected(self):
+        with pytest.raises(ValueError, match="backend"):
+            ClusterReplayer(backend="process")
+
+    def test_world_smaller_than_fleet_is_rejected(self, fleet_traces):
+        """A world that cannot cover the fleet's ranks would clamp replicas
+        onto each other and deadlock the rendezvous — refuse it up front."""
+        with pytest.raises(ClusterMatchError, match="cannot cover fleet ranks"):
+            ClusterReplayer(ReplayConfig(device="A100", world_size=2)).replay(fleet_traces)
+
+    def test_single_replica_failure_raises_cluster_replay_error(self, fleet_traces):
+        """The one-replica fast path reports failures through the same
+        ClusterReplayError contract as the pooled path (the CLI relies on it)."""
+        from repro.cluster import ClusterReplayError
+
+        with pytest.raises(ClusterReplayError, match="rank 0"):
+            ClusterReplayer(ReplayConfig(device="NoSuchDevice")).replay([fleet_traces[0]])
+
+    def test_warmup_iterations_do_not_inflate_rendezvous_stats(self, fleet_captures):
+        """Stall/skew/matched are windowed to the measured region, like
+        every other reported metric: extra warm-up iterations must not
+        change the measured collective count, and the steady-state stall
+        is independent of how many warm-ups preceded it."""
+        overrides = {0: {"device": "V100"}}
+        cold = ClusterReplayer(ReplayConfig(device="A100", iterations=1)).replay(
+            fleet_captures, rank_overrides=overrides
+        )
+        warm_counts = {}
+        warm_stalls = {}
+        for warmups in (1, 2):
+            report = ClusterReplayer(
+                ReplayConfig(device="A100", iterations=1, warmup_iterations=warmups)
+            ).replay(fleet_captures, rank_overrides=overrides)
+            warm_counts[warmups] = report.matched_collectives
+            warm_stalls[warmups] = {r.rank: r.stall_us for r in report.ranks}
+        # Same number of *measured* collectives no matter the warm-up count.
+        assert warm_counts[1] == warm_counts[2] == cold.matched_collectives
+        # Steady state: a second warm-up changes nothing measured.
+        for rank in range(WORLD):
+            assert warm_stalls[1][rank] == pytest.approx(warm_stalls[2][rank])
+
+
+# ----------------------------------------------------------------------
+# Singleton-collective pricing (remap degenerate case)
+# ----------------------------------------------------------------------
+class TestSingletonCollectivePricing:
+    def _all_reduce_duration(self, pg, world_size=WORLD) -> float:
+        dist = DistributedContext(rank=0, world_size=world_size) if world_size > 1 else None
+        runtime = Runtime("A100", dist=dist)
+        from repro.torchsim.tensor import Tensor
+
+        runtime.call("c10d::all_reduce", [Tensor.empty((1024, 1024))], "sum", pg, False)
+        (launch,) = [k for k in runtime.gpu.launches if k.desc.name.startswith("nccl")]
+        return launch.duration
+
+    def test_singleton_group_prices_as_local_noop(self):
+        """A recorded group folded onto one rank pays no alpha-beta cost:
+        it is priced exactly like the world-size-1 local no-op, not through
+        the interconnect model."""
+        singleton = self._all_reduce_duration({"ranks": [0], "backend": "nccl"})
+        local_noop = self._all_reduce_duration(None, world_size=1)
+        assert singleton == pytest.approx(local_noop)
+        full = self._all_reduce_duration({"ranks": list(range(WORLD)), "backend": "nccl"})
+        priced = CollectiveCostModel(InterconnectSpec()).all_reduce_us(
+            float(1024 * 1024 * 4), WORLD
+        )
+        assert full == pytest.approx(priced)
+
+    def test_remapped_replay_to_world_one_still_replays(self, fleet_captures):
+        """remap_world_size=1 folds every group to a singleton; the replay
+        must complete with comms priced as free local no-ops."""
+        capture = fleet_captures[0]
+        result = run_replay(
+            capture.execution_trace,
+            config=ReplayConfig(device="A100", world_size=1, remap_world_size=1),
+        )
+        assert result.replayed_ops > 0
+
+
+# ----------------------------------------------------------------------
+# Process-group index
+# ----------------------------------------------------------------------
+class TestGroupIndex:
+    def test_group_for_description_is_find_or_create(self):
+        dist = DistributedContext(rank=0, world_size=8)
+        description = {"ranks": [0, 2, 4, 6], "backend": "nccl"}
+        first = dist.group_for_description(description)
+        second = dist.group_for_description(description)
+        assert first is second
+        assert dist.group_for_description({"ranks": [0, 2, 4, 6], "backend": "gloo"}) is not first
+
+    def test_default_group_resolves_through_index(self):
+        dist = DistributedContext(rank=0, world_size=8)
+        resolved = dist.group_for_description({"ranks": list(range(8)), "backend": "nccl"})
+        assert resolved is dist.default_group
+
+    def test_many_groups_still_resolve_each_exactly(self):
+        dist = DistributedContext(rank=0, world_size=64)
+        created = [dist.new_group([r, r + 32]) for r in range(32)]
+        for rank, group in enumerate(created):
+            found = dist.group_for_description(
+                {"ranks": [rank, rank + 32], "backend": "nccl"}
+            )
+            assert found is group
+
+
+# ----------------------------------------------------------------------
+# api facade
+# ----------------------------------------------------------------------
+class TestReplayClusterFacade:
+    def test_fluent_session_matches_engine(self, fleet_captures):
+        via_api = api.replay_cluster(fleet_captures).on("A100").run()
+        via_engine = ClusterReplayer(ReplayConfig(device="A100")).replay(fleet_captures)
+        assert via_api.to_dict() == via_engine.to_dict()
+
+    def test_world_override_reprices_collectives(self, fleet_captures):
+        small = api.replay_cluster(fleet_captures).on("A100").run()
+        # Price the same fleet as if the groups ran at 64 ranks: the
+        # recorded groups stay as-is, but each replica's distributed
+        # context (and cost model) sees the bigger world.
+        big = api.replay_cluster(fleet_captures).on("A100").world(64).run()
+        assert big.world_size == 64
+        assert small.world_size == WORLD
+
+    def test_configure_rank_builds_rank_overrides(self, fleet_captures):
+        report = (
+            api.replay_cluster(fleet_captures)
+            .on("A100")
+            .configure_rank(0, device="V100")
+            .run()
+        )
+        assert report.straggler_rank == 0
+
+    def test_session_accepts_directory_source(self, fleet_captures, tmp_path):
+        DistributedRunner.save_captures(fleet_captures, tmp_path)
+        report = api.replay_cluster(tmp_path).on("A100").iterations(1).run()
+        assert report.num_replicas == WORLD
+        assert report.unmatched_collectives == 0
+
+
+# ----------------------------------------------------------------------
+# bench harness
+# ----------------------------------------------------------------------
+class TestCompareDistributed:
+    def test_table5_style_comparison(self):
+        comparison = compare_distributed(
+            lambda rank, world: make_small_rm(rank=rank, world_size=world),
+            world_size=WORLD,
+            device="A100",
+        )
+        assert comparison.world_size == WORLD
+        assert comparison.ranks_simulated == WORLD
+        assert comparison.report.unmatched_collectives == 0
+        for key, error in comparison.replay_error.items():
+            assert error < 0.15, key
+
+
+# ----------------------------------------------------------------------
+# CLI
+# ----------------------------------------------------------------------
+class TestReplayDistCli:
+    def test_replay_dist_table_output(self, fleet_captures, tmp_path, capsys):
+        DistributedRunner.save_captures(fleet_captures, tmp_path)
+        exit_code = cli_main(["replay-dist", str(tmp_path), "--device", "A100"])
+        out = capsys.readouterr().out
+        assert exit_code == 0
+        assert "critical path" in out
+        assert "4 replica(s)" in out
+
+    def test_replay_dist_json_output(self, fleet_captures, tmp_path, capsys):
+        DistributedRunner.save_captures(fleet_captures, tmp_path)
+        exit_code = cli_main(["replay-dist", str(tmp_path), "--json", "-n", "1"])
+        payload = json.loads(capsys.readouterr().out)
+        assert exit_code == 0
+        assert payload["num_replicas"] == WORLD
+        assert payload["unmatched_collectives"] == 0
+        assert len(payload["ranks"]) == WORLD
+
+    def test_replay_dist_empty_directory_fails_cleanly(self, tmp_path, capsys):
+        exit_code = cli_main(["replay-dist", str(tmp_path)])
+        assert exit_code == 1
+        assert "error:" in capsys.readouterr().err
+
+    def test_version_subcommand(self, capsys):
+        from repro.version import __version__
+
+        assert cli_main(["version"]) == 0
+        assert capsys.readouterr().out.strip() == f"repro {__version__}"

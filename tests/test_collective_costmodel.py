@@ -1,0 +1,122 @@
+"""Direct unit tests for :class:`repro.hardware.network.CollectiveCostModel`.
+
+The model's two structural properties matter to every distributed result in
+the paper reproduction: (1) traffic inside one NVLink node is priced
+against the intra-node fabric, while any group spanning nodes drops to the
+NIC bottleneck; (2) the synchronisation-skew term grows (slowly) with the
+group size, making large-scale collectives slower per byte.
+"""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.hardware.network import CollectiveCostModel, InterconnectSpec
+
+MB = 1024.0 * 1024.0
+
+
+@pytest.fixture
+def spec() -> InterconnectSpec:
+    return InterconnectSpec()  # 8-GPU NVLink nodes, 200 Gb/s NIC per GPU
+
+
+@pytest.fixture
+def model(spec) -> CollectiveCostModel:
+    return CollectiveCostModel(spec)
+
+
+class TestIntraVsInterNodePricing:
+    def test_group_within_one_node_uses_nvlink(self, model, spec):
+        """Up to gpus_per_node ranks, the bottleneck is NVLink bandwidth."""
+        bytes_per_rank = 64 * MB
+        duration = model.all_gather_us(bytes_per_rank, spec.gpus_per_node)
+        moved = (spec.gpus_per_node - 1) * bytes_per_rank
+        nvlink_transfer_us = moved / (spec.intra_node_bw_gbps * 1e9) * 1e6
+        nic_transfer_us = moved / (spec.inter_node_bw_gbps * 1e9) * 1e6
+        # Close to the NVLink transfer time (plus small latency), nowhere
+        # near the NIC transfer time.
+        assert duration < nvlink_transfer_us * 1.5
+        assert duration < nic_transfer_us / 2
+
+    def test_crossing_the_node_boundary_drops_to_nic(self, model, spec):
+        """gpus_per_node -> gpus_per_node + 1 ranks changes the fabric."""
+        bytes_per_rank = 64 * MB
+        within = model.reduce_scatter_us(bytes_per_rank, spec.gpus_per_node)
+        across = model.reduce_scatter_us(bytes_per_rank, spec.gpus_per_node + 1)
+        # The payload moved grows by only (n-1)/n, but the bandwidth drops
+        # by intra/inter (12x for the default spec): the jump dominates.
+        assert across > within * (spec.intra_node_bw_gbps / spec.inter_node_bw_gbps) / 2
+
+    def test_all_reduce_inter_node_scales_with_nic_bandwidth(self, spec):
+        """Doubling the NIC bandwidth halves the transfer component."""
+        bytes_per_rank = 256 * MB
+        world = 2 * spec.gpus_per_node
+        slow = CollectiveCostModel(spec)
+        fast = CollectiveCostModel(spec.clone(inter_node_bw_gbps=2 * spec.inter_node_bw_gbps))
+        slow_us = slow.all_reduce_us(bytes_per_rank, world)
+        fast_us = fast.all_reduce_us(bytes_per_rank, world)
+        # Transfer dominates at 256 MB, so the ratio approaches 2.
+        assert 1.7 < slow_us / fast_us <= 2.0
+
+    def test_p2p_same_node_vs_cross_node(self, model, spec):
+        same = model.p2p_us(16 * MB, same_node=True)
+        cross = model.p2p_us(16 * MB, same_node=False)
+        assert cross > same
+        assert cross >= spec.inter_node_latency_us
+
+
+class TestSkewTerm:
+    def test_latency_grows_with_group_size(self, model):
+        """The skew term makes per-collective latency grow with ranks."""
+        latencies = [model._latency_us(world) for world in (2, 8)]
+        assert latencies[1] > latencies[0]
+        inter = [model._latency_us(world) for world in (16, 64, 512)]
+        assert inter[0] < inter[1] < inter[2]
+
+    def test_skew_growth_is_logarithmic(self, model, spec):
+        """Within one fabric, latency grows by skew_us_per_rank per
+        doubling of the group size — not linearly with ranks."""
+        l16 = model._latency_us(16)
+        l64 = model._latency_us(64)
+        expected = spec.skew_us_per_rank * (math.log2(64) - math.log2(16))
+        assert l64 - l16 == pytest.approx(expected)
+
+    def test_skew_term_visible_in_small_payload_collectives(self, spec):
+        """With a tiny payload, duration is latency-bound, so a larger
+        group is strictly slower even on the same fabric."""
+        model = CollectiveCostModel(spec)
+        small = model.all_reduce_us(1024.0, 16)
+        large = model.all_reduce_us(1024.0, 1024)
+        assert large > small
+
+    def test_zero_skew_spec_flattens_growth_within_fabric(self, spec):
+        model = CollectiveCostModel(spec.clone(skew_us_per_rank=0.0))
+        assert model._latency_us(16) == model._latency_us(1024)
+
+
+class TestDegenerateAndDispatch:
+    def test_world_size_one_is_latency_only(self, model, spec):
+        """A singleton group never pays alpha-beta transfer costs."""
+        for op in ("all_reduce", "all_gather", "reduce_scatter", "all_to_all"):
+            assert model.collective_us(op, 1e9, 1) == pytest.approx(
+                spec.intra_node_latency_us
+            )
+
+    def test_dispatch_accepts_qualified_names(self, model):
+        plain = model.collective_us("all_reduce", 4 * MB, 8)
+        qualified = model.collective_us("c10d::all_reduce", 4 * MB, 8)
+        assert plain == qualified
+
+    def test_unknown_collective_raises(self, model):
+        with pytest.raises(ValueError):
+            model.collective_us("c10d::gather_scatter_shuffle", 1.0, 8)
+
+    def test_delay_scale_and_extra_delay(self, spec):
+        base = CollectiveCostModel(spec)
+        scaled = CollectiveCostModel(spec, delay_scale=2.0, extra_delay_us=5.0)
+        b = base.all_reduce_us(8 * MB, 16)
+        s = scaled.all_reduce_us(8 * MB, 16)
+        assert s == pytest.approx(2.0 * b + 5.0)
