@@ -3,7 +3,7 @@
 PYTHON ?= python
 export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH),)
 
-.PHONY: test test-cluster bench lint example-sweep clean
+.PHONY: test test-cluster test-memory bench lint example-sweep clean
 
 test:
 	$(PYTHON) -m pytest -x -q
@@ -13,6 +13,12 @@ test:
 test-cluster:
 	$(PYTHON) -m pytest tests/test_cluster_replay.py tests/test_collective_costmodel.py -q
 	$(PYTHON) examples/cluster_straggler.py
+
+# Device-memory simulation subsystem: allocator/lifetime/timeline tests,
+# the allocator property suite, and a CLI smoke run of memory-report.
+test-memory:
+	$(PYTHON) -m pytest tests/test_memory_subsystem.py tests/test_property_memory.py -q
+	$(PYTHON) -m repro memory-report --help > /dev/null
 
 bench:
 	$(PYTHON) -m pytest benchmarks/ -q

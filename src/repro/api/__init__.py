@@ -52,6 +52,7 @@ from typing import Any, Dict, Optional, Sequence, Union
 
 from repro.api.hooks import (
     ErrorCollectorHook,
+    MemoryHook,
     MetricsTapHook,
     OpTraceHook,
     ProgressHook,
@@ -79,6 +80,15 @@ from repro.core.pipeline import (
     ReplayPipelineError,
     ReplayStage,
     SelectStage,
+    TrackMemoryStage,
+)
+from repro.memory import (
+    MemoryReport,
+    OOMEvent,
+    SimulatedOOMError,
+    check_device_fit,
+    format_memory_report,
+    simulate_memory,
 )
 from repro.core.registry import ReplaySupport
 from repro.core.replayer import ReplayConfig, ReplayResult, ReplayResultSummary
@@ -250,12 +260,21 @@ __all__ = [
     "InitCommsStage",
     "ExecuteStage",
     "MeasureStage",
+    "TrackMemoryStage",
+    # memory simulation
+    "MemoryReport",
+    "OOMEvent",
+    "SimulatedOOMError",
+    "simulate_memory",
+    "check_device_fit",
+    "format_memory_report",
     # ready-made hooks
     "ProgressHook",
     "OpTraceHook",
     "StageTimingHook",
     "MetricsTapHook",
     "ErrorCollectorHook",
+    "MemoryHook",
     # configuration / results
     "ReplayConfig",
     "ReplayResult",

@@ -51,6 +51,8 @@ class ClusterSession:
         self._backend = "thread"
         self._timeout_s = 60.0
         self._strict_match = True
+        self._track_memory = False
+        self._memory_budget: Optional[Any] = None
 
     # ------------------------------------------------------------------
     # Configuration
@@ -109,6 +111,20 @@ class ClusterSession:
         self._support = support
         return self
 
+    def with_memory(self, budget: Optional[Any] = None) -> "ClusterSession":
+        """Track every replica's simulated device-memory footprint.
+
+        The resulting :class:`~repro.cluster.engine.ClusterReport` carries
+        one :class:`~repro.memory.report.MemoryReport` per rank plus the
+        max-rank summary (``peak_allocated_bytes``, ``max_memory_rank``,
+        ``oom_ranks``).  ``budget`` bounds the simulated pool per rank
+        (bytes or a ``"16GB"`` string); over-budget ranks record a
+        structured OOM on their report rather than aborting the fleet.
+        """
+        self._track_memory = True
+        self._memory_budget = budget
+        return self
+
     # ------------------------------------------------------------------
     # Execution policy
     # ------------------------------------------------------------------
@@ -140,6 +156,8 @@ class ClusterSession:
             timeout_s=self._timeout_s,
             strict_match=self._strict_match,
             support=self._support,
+            track_memory=self._track_memory,
+            memory_budget=self._memory_budget,
         )
         fleet = self._fleet
         if isinstance(fleet, (str, Path)):

@@ -13,7 +13,7 @@ import time
 from dataclasses import dataclass, field
 from typing import Any, Callable, Dict, List, Optional, TextIO
 
-from repro.core.pipeline import ReplayContext, ReplayHook, ReplayStage
+from repro.core.pipeline import ReplayContext, ReplayHook, ReplayStage, TrackMemoryStage
 
 
 class ProgressHook(ReplayHook):
@@ -118,6 +118,42 @@ class MetricsTapHook(ReplayHook):
     def on_stage_end(self, context: ReplayContext, stage: ReplayStage) -> None:
         if context.result is not None and stage.name == "measure":
             self.sink(context.result.summarize().to_dict())
+
+
+class MemoryHook(ReplayHook):
+    """Captures the memory report the ``track-memory`` stage produced.
+
+    Register together with ``.with_memory(...)``; after the replay the
+    hook's :attr:`report` holds the
+    :class:`~repro.memory.report.MemoryReport` (also available as
+    ``result.memory_report``), and the optional ``sink`` callback receives
+    it the moment the stage finishes — useful to stream footprints out of
+    batch/cluster replays without holding full results.
+    """
+
+    def __init__(self, sink: Optional[Callable[[Any], None]] = None) -> None:
+        self.report: Optional[Any] = None
+        self.sink = sink
+
+    def on_stage_end(self, context: ReplayContext, stage: ReplayStage) -> None:
+        if stage.name == TrackMemoryStage.name:
+            self._capture(context)
+
+    def on_error(self, context: ReplayContext, stage: ReplayStage, error: BaseException) -> None:
+        # With on_oom="raise" the stage publishes the report and then
+        # raises, so on_stage_end never fires — capture it here, exactly
+        # when the report matters most.
+        if stage.name == TrackMemoryStage.name:
+            self._capture(context)
+
+    def _capture(self, context: ReplayContext) -> None:
+        self.report = context.extras.get(TrackMemoryStage.EXTRAS_KEY)
+        if self.sink is not None and self.report is not None:
+            self.sink(self.report)
+
+    @property
+    def peak_allocated_bytes(self) -> int:
+        return self.report.peak_allocated_bytes if self.report is not None else 0
 
 
 @dataclass

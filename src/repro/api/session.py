@@ -131,6 +131,33 @@ class ReplaySession:
         self._runtime = runtime
         return self
 
+    def with_memory(
+        self,
+        budget: Optional[Any] = None,
+        on_oom: str = "record",
+        keep_timeline: bool = True,
+    ) -> "ReplaySession":
+        """Track the replay's simulated device-memory footprint.
+
+        Inserts the ``track-memory`` stage (after stream assignment, so
+        tensors land on their recorded streams); the resulting
+        :class:`~repro.memory.report.MemoryReport` is available as
+        ``result.memory_report`` after :meth:`run`.  ``budget`` caps the
+        simulated pool below the device's capacity (bytes or a ``"16GB"``
+        string) for OOM what-if replays; ``on_oom="raise"`` aborts the
+        replay with :class:`~repro.memory.report.SimulatedOOMError` when
+        the trace does not fit.  Timing results and cache digests are
+        unaffected either way.
+        """
+        from repro.core.pipeline import TrackMemoryStage
+
+        stage = TrackMemoryStage(budget=budget, on_oom=on_oom, keep_timeline=keep_timeline)
+        if TrackMemoryStage.name in self._pipeline.stage_names():
+            self._pipeline.replace(TrackMemoryStage.name, stage)
+        else:
+            self._pipeline.insert_after("assign-streams", stage)
+        return self
+
     # ------------------------------------------------------------------
     # Observation and stage composition
     # ------------------------------------------------------------------

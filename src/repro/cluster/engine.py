@@ -154,13 +154,21 @@ class RankReport:
     #: Virtual time this rank spent stalled in the rendezvous, waiting for
     #: slower peers to arrive at shared collectives.
     stall_us: float = 0.0
+    #: Simulated memory footprint of this rank
+    #: (:class:`~repro.memory.report.MemoryReport`); ``None`` unless the
+    #: fleet was replayed with memory tracking enabled.
+    memory: Optional[Any] = None
 
     @property
     def mean_iteration_time_us(self) -> float:
         return self.summary.mean_iteration_time_us
 
+    @property
+    def peak_allocated_bytes(self) -> int:
+        return self.memory.peak_allocated_bytes if self.memory is not None else 0
+
     def to_dict(self) -> Dict[str, Any]:
-        return {
+        data = {
             "rank": self.rank,
             "summary": self.summary.to_dict(),
             "comm_time_us": self.comm_time_us,
@@ -168,6 +176,11 @@ class RankReport:
             "stall_us": self.stall_us,
             "mean_iteration_time_us": self.mean_iteration_time_us,
         }
+        # Only present when memory tracking ran, so memory-less reports
+        # serialise exactly as they did before the memory subsystem.
+        if self.memory is not None:
+            data["memory"] = self.memory.summary_dict()
+        return data
 
 
 @dataclass
@@ -217,8 +230,39 @@ class ClusterReport:
                 return report
         raise KeyError(f"no rank {rank} in this report (ranks: {[r.rank for r in self.ranks]})")
 
+    # ------------------------------------------------------------------
+    # Memory aggregation (populated when the fleet replayed with memory
+    # tracking; every accessor degrades gracefully without it).
+    # ------------------------------------------------------------------
+    @property
+    def has_memory(self) -> bool:
+        return any(rank.memory is not None for rank in self.ranks)
+
+    @property
+    def peak_allocated_bytes(self) -> int:
+        """The fleet's worst-rank allocated peak (device sizing bound)."""
+        return max((rank.peak_allocated_bytes for rank in self.ranks), default=0)
+
+    @property
+    def max_memory_rank(self) -> Optional[int]:
+        """The rank with the largest simulated footprint — per-rank skew
+        (e.g. unbalanced embedding shards) makes this differ from the
+        straggler rank."""
+        tracked = [rank for rank in self.ranks if rank.memory is not None]
+        if not tracked:
+            return None
+        return max(tracked, key=lambda r: r.peak_allocated_bytes).rank
+
+    @property
+    def oom_ranks(self) -> List[int]:
+        """Ranks whose simulated footprint exceeded their budget."""
+        return sorted(
+            rank.rank for rank in self.ranks
+            if rank.memory is not None and not rank.memory.fits
+        )
+
     def to_dict(self) -> Dict[str, Any]:
-        return {
+        data = {
             "device": self.device,
             "world_size": self.world_size,
             "num_replicas": self.num_replicas,
@@ -232,6 +276,13 @@ class ClusterReport:
             "mean_iteration_time_us": self.mean_iteration_time_us,
             "mean_exposed_comm_us": self.mean_exposed_comm_us,
         }
+        if self.has_memory:
+            data["memory"] = {
+                "peak_allocated_bytes": self.peak_allocated_bytes,
+                "max_memory_rank": self.max_memory_rank,
+                "oom_ranks": self.oom_ranks,
+            }
+        return data
 
 
 # ----------------------------------------------------------------------
@@ -269,6 +320,8 @@ class ClusterReplayer:
         timeout_s: float = 60.0,
         strict_match: bool = True,
         support: Optional[ReplaySupport] = None,
+        track_memory: bool = False,
+        memory_budget: Optional[Any] = None,
     ) -> None:
         if backend not in ("thread", "serial"):
             raise ValueError(
@@ -280,6 +333,11 @@ class ClusterReplayer:
         self.timeout_s = timeout_s
         self.strict_match = strict_match
         self.support = support
+        #: Per-rank memory footprints (``repro.memory``): simulate each
+        #: replica's device memory and aggregate the per-rank reports plus
+        #: the max-rank summary onto the :class:`ClusterReport`.
+        self.track_memory = track_memory
+        self.memory_budget = memory_budget
 
     # ------------------------------------------------------------------
     @staticmethod
@@ -353,6 +411,8 @@ class ClusterReplayer:
                 profiler_trace=profiler,
                 overrides=(rank_overrides or {}).get(int(trace.metadata.get("rank", 0))),
                 support=self.support,
+                track_memory=self.track_memory,
+                memory_budget=self.memory_budget,
             )
             for trace, profiler in zip(fleet, profilers)
         ]
@@ -478,6 +538,7 @@ class ClusterReplayer:
                     comm_time_us=timeline.category_kernel_time_us.get("comms", 0.0),
                     exposed_comm_us=timeline.category_exposed_time_us.get("comms", 0.0),
                     stall_us=stats.stall_us_by_rank.get(replica.rank, 0.0),
+                    memory=result.memory_report,
                 )
             )
         return report

@@ -66,6 +66,13 @@ class RankReplica:
     profiler_trace: Optional[ProfilerTrace] = None
     support: Optional[ReplaySupport] = None
     hooks: Sequence[ReplayHook] = field(default_factory=tuple)
+    #: Insert the ``track-memory`` stage into this replica's pipeline so
+    #: the engine can aggregate per-rank footprints.  OOMs are recorded on
+    #: the per-rank report, never raised — one over-budget rank must not
+    #: deadlock the fleet's rendezvous.
+    track_memory: bool = False
+    #: Optional what-if pool bound for the memory simulation.
+    memory_budget: Optional[Any] = None
     result: Optional[ReplayResult] = None
     error: Optional[str] = None
     #: Virtual start of this rank's measured region (set by :meth:`run`);
@@ -84,6 +91,8 @@ class RankReplica:
         overrides: Optional[Dict[str, Any]] = None,
         support: Optional[ReplaySupport] = None,
         hooks: Optional[Sequence[ReplayHook]] = None,
+        track_memory: bool = False,
+        memory_budget: Optional[Any] = None,
     ) -> "RankReplica":
         """Build a replica for ``trace``, with the config's ``rank`` pinned
         to the trace's recorded rank (plus optional per-rank overrides —
@@ -98,15 +107,26 @@ class RankReplica:
             profiler_trace=profiler_trace,
             support=support,
             hooks=tuple(hooks or ()),
+            track_memory=track_memory,
+            memory_budget=memory_budget,
         )
 
     # ------------------------------------------------------------------
     def build_pipeline(self) -> ReplayPipeline:
         """The standard stage pipeline with ``init-comms`` swapped for the
-        rendezvous-aware :class:`SyncCollectivesStage`."""
-        return ReplayPipeline.default().replace(
+        rendezvous-aware :class:`SyncCollectivesStage` (plus the
+        ``track-memory`` stage when per-rank footprints are requested)."""
+        pipeline = ReplayPipeline.default().replace(
             "init-comms", SyncCollectivesStage(self.rendezvous)
         )
+        if self.track_memory:
+            from repro.core.pipeline import TrackMemoryStage
+
+            pipeline.insert_after(
+                "assign-streams",
+                TrackMemoryStage(budget=self.memory_budget, on_oom="record"),
+            )
+        return pipeline
 
     def run(self) -> ReplayResult:
         """Replay this rank; always retires the rank from the rendezvous so

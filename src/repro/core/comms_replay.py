@@ -17,8 +17,8 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence
 
-from repro.et.analyzer import CATEGORY_COMMS, categorize_node
-from repro.et.schema import ETNode, decode_tensor_ref, is_tensor_list_type, is_tensor_type
+from repro.et.analyzer import CATEGORY_COMMS, categorize_node, node_input_tensor_bytes
+from repro.et.schema import ETNode
 from repro.et.trace import ExecutionTrace
 from repro.torchsim.distributed import DistributedContext, ProcessGroup
 
@@ -146,18 +146,7 @@ class CommReplayManager:
 
 # ----------------------------------------------------------------------
 def _tensor_bytes(node: ETNode) -> float:
-    total = 0.0
-    for value, shape, type_str in zip(node.inputs, node.input_shapes, node.input_types):
-        if is_tensor_type(type_str):
-            ref = decode_tensor_ref(value)
-            if ref is not None:
-                total += ref[3] * ref[4]
-        elif is_tensor_list_type(type_str) and isinstance(value, (list, tuple)):
-            for item in value:
-                ref = decode_tensor_ref(item)
-                if ref is not None:
-                    total += ref[3] * ref[4]
-    return total
+    return float(node_input_tensor_bytes(node))
 
 
 def _recorded_group(node: ETNode) -> Dict[str, object]:

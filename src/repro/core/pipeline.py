@@ -316,6 +316,65 @@ class ExecuteStage(ReplayStage):
         return replayed, skipped
 
 
+class TrackMemoryStage(ReplayStage):
+    """Simulate the replay's device-memory footprint (off by default).
+
+    A purely observational stage: it runs the static caching-allocator
+    simulation of :mod:`repro.memory` over the selected operators and
+    stores the :class:`~repro.memory.report.MemoryReport` in
+    ``context.extras["memory_report"]`` (the measure stage copies it onto
+    the final result).  It never touches the runtime, the tensor manager
+    or the measurement window, so enabling it leaves replay results and
+    cache digests byte-identical — the equivalence contract
+    ``tests/test_memory_subsystem.py`` asserts.
+
+    ``budget`` bounds the simulated pool (bytes or ``"16GB"``-style
+    string; default: the config device's capacity).  ``on_oom`` decides
+    what a simulated OOM does: ``"record"`` (default) keeps it as data on
+    the report, ``"raise"`` aborts the replay with
+    :class:`~repro.memory.report.SimulatedOOMError` naming the failing
+    operator.
+    """
+
+    name = "track-memory"
+
+    #: Key under which the report is published on ``context.extras``.
+    EXTRAS_KEY = "memory_report"
+
+    def __init__(
+        self,
+        budget: Optional[Any] = None,
+        on_oom: str = "record",
+        keep_timeline: bool = True,
+    ) -> None:
+        if on_oom not in ("record", "raise"):
+            raise ValueError(f"on_oom must be 'record' or 'raise', got {on_oom!r}")
+        self.budget = budget
+        self.on_oom = on_oom
+        self.keep_timeline = keep_timeline
+
+    def run(self, context: ReplayContext) -> None:
+        from repro.memory.report import simulate_memory
+
+        selection = context.require("selection", self)
+        stream_for = None
+        if context.stream_assignment is not None and context.config.use_streams:
+            assignment = context.stream_assignment
+            stream_for = lambda node_id: assignment.stream_for(node_id)  # noqa: E731
+        report = simulate_memory(
+            context.trace,
+            device=context.config.device,
+            budget=self.budget,
+            entries=selection.entries,
+            trace_name=str(context.trace.metadata.get("workload", "")),
+            stream_for=stream_for,
+            keep_timeline=self.keep_timeline,
+        )
+        context.extras[self.EXTRAS_KEY] = report
+        if self.on_oom == "raise":
+            report.raise_if_oom()
+
+
 class MeasureStage(ReplayStage):
     """Resolve the measurement window into timeline stats, system metrics
     and the final :class:`~repro.core.replayer.ReplayResult`."""
@@ -344,6 +403,7 @@ class MeasureStage(ReplayStage):
             system_metrics=metrics,
             profiler_trace=context.profiler.trace if context.profiler is not None else None,
             kernel_launches=launches,
+            memory_report=context.extras.get(TrackMemoryStage.EXTRAS_KEY),
         )
 
 

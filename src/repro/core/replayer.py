@@ -166,6 +166,10 @@ class ReplayResult:
     system_metrics: SystemMetrics
     profiler_trace: Optional[ProfilerTrace] = None
     kernel_launches: List[KernelLaunch] = field(default_factory=list)
+    #: Simulated device-memory report (``repro.memory``), populated only
+    #: when a ``track-memory`` stage ran; ``None`` otherwise.  Not part of
+    #: :meth:`summarize`, so cached result digests are unaffected.
+    memory_report: Optional[Any] = None
 
     @property
     def mean_iteration_time_us(self) -> float:

@@ -86,6 +86,29 @@ class ScaleDownEmulator:
         return emulated_total / captured_total
 
     # ------------------------------------------------------------------
+    def validate_memory(self, trace: ExecutionTrace, budget=None):
+        """Check that one captured rank's trace fits the emulation device.
+
+        The whole point of scale-down is replaying a big job on a small
+        test setup — which fails in practice when the *test* GPU cannot
+        hold the rank's tensors.  This validates that statically (via the
+        :mod:`repro.memory` caching-allocator simulation) before any
+        replay: returns the :class:`~repro.memory.report.MemoryReport`
+        when the trace fits, raises
+        :class:`~repro.memory.report.SimulatedOOMError` naming the
+        failing operator when it does not.  ``budget`` optionally checks
+        against a pool smaller than the device's capacity.
+        """
+        from repro.memory.report import check_device_fit
+
+        return check_device_fit(
+            trace,
+            device=self.config.device,
+            budget=budget,
+            trace_name=str(trace.metadata.get("workload", "")),
+        )
+
+    # ------------------------------------------------------------------
     def emulate_rank(
         self,
         trace: ExecutionTrace,
@@ -115,14 +138,25 @@ class ScaleDownEmulator:
         self,
         traces: List[ExecutionTrace],
         profiler_traces: Optional[List[ProfilerTrace]] = None,
+        validate_memory: bool = False,
     ) -> Dict[str, object]:
         """Replay ``replay_ranks`` captured ranks and aggregate the estimate.
 
         Returns a dictionary with per-rank results and the estimated
         large-scale iteration time (the mean across the replayed ranks —
         data-parallel ranks are symmetric, so a couple of ranks suffice).
+
+        With ``validate_memory=True``, every selected rank's trace is
+        first checked to fit the emulation device's memory
+        (:meth:`validate_memory`); the per-rank reports are returned under
+        ``"memory_reports"`` and an over-capacity trace aborts with
+        :class:`~repro.memory.report.SimulatedOOMError` *before* any
+        replay time is spent.
         """
         selected = traces[: self.config.replay_ranks]
+        memory_reports = (
+            [self.validate_memory(trace) for trace in selected] if validate_memory else None
+        )
         results: List[ReplayResult] = []
         for rank, trace in enumerate(selected):
             profiler_trace = None
@@ -134,10 +168,13 @@ class ScaleDownEmulator:
             if results
             else 0.0
         )
-        return {
+        outcome: Dict[str, object] = {
             "per_rank_results": results,
             "estimated_iteration_time_us": mean_time_us,
             "estimated_iteration_time_ms": mean_time_us / 1e3,
             "replay_ranks": len(results),
             "emulated_world_size": self.config.emulated_world_size,
         }
+        if memory_reports is not None:
+            outcome["memory_reports"] = memory_reports
+        return outcome

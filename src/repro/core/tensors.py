@@ -25,6 +25,7 @@ from typing import Any, Dict, List, Optional, Sequence, Tuple
 import numpy as np
 
 from repro.core.selection import ReplayPlanEntry
+from repro.et.analyzer import dtype_from_type_string
 from repro.et.schema import ETNode, decode_tensor_ref, is_tensor_list_type, is_tensor_type
 from repro.torchsim.device import Device
 from repro.torchsim.dtypes import DType
@@ -120,7 +121,7 @@ class TensorManager:
     # Instantiation
     # ------------------------------------------------------------------
     def _materialize(self, ref, shape, type_str: str) -> Tensor:
-        dtype = _dtype_from_type_string(type_str)
+        dtype = dtype_from_type_string(type_str)
         shape = tuple(int(dim) for dim in (shape or []))
         tensor = Tensor(shape=shape, dtype=dtype, device=self.device)
         numel = tensor.numel
@@ -184,13 +185,6 @@ class TensorManager:
 
 
 # ----------------------------------------------------------------------
-def _dtype_from_type_string(type_str: str) -> DType:
-    try:
-        return DType.from_name(type_str)
-    except ValueError:
-        return DType.FLOAT32
-
-
 def _split_generic_list(type_str: str) -> List[str]:
     inner = type_str[len("GenericList["):-1] if type_str.endswith("]") else ""
     return [part for part in inner.split(",") if part]

@@ -9,11 +9,13 @@ Section 8.2).
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass, field
-from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
 
 from repro.et.schema import ETNode
 from repro.et.trace import ExecutionTrace
+from repro.torchsim.dtypes import DType
 
 #: Category labels used throughout the analysis (Figure 2's legend).
 CATEGORY_ATEN = "aten"
@@ -38,6 +40,65 @@ def categorize_node(node: ETNode) -> str:
     if namespace in _FUSED_NAMESPACES:
         return CATEGORY_FUSED
     return CATEGORY_CUSTOM
+
+
+#: Name prefix of the autograd-engine wrapper annotations the PyTorch
+#: observer records around every backward step.
+AUTOGRAD_WRAPPER_PREFIX = "autograd::engine::evaluate_function"
+
+
+def backward_node_ids(trace: ExecutionTrace) -> Set[int]:
+    """IDs of all nodes executed by the autograd engine (backward pass).
+
+    Backward steps appear as ``autograd::engine::evaluate_function: …``
+    wrapper annotations whose descendants are the actual backward
+    operators; tensors produced inside that scope are gradients (the
+    classification :mod:`repro.memory.lifetimes` builds on).
+    """
+    ids: Set[int] = set()
+    for node in trace.sorted_nodes():
+        if node.name.startswith(AUTOGRAD_WRAPPER_PREFIX):
+            ids.add(node.id)
+            ids.update(child.id for child in trace.descendants(node.id))
+    return ids
+
+
+# ----------------------------------------------------------------------
+# Tensor-size accounting
+#
+# The one place byte arithmetic over recorded tensors lives: identity
+# tuples carry (numel, itemsize) directly, and shape/type pairs resolve
+# through the dtype table.  The replayer's tensor manager, the
+# communication extractor and the memory subsystem all defer here.
+# ----------------------------------------------------------------------
+def dtype_from_type_string(type_str: str, default: DType = DType.FLOAT32) -> DType:
+    """Resolve a recorded type string (``"Tensor(float32)"``) to a dtype,
+    falling back to ``default`` for exotic/unknown element types."""
+    try:
+        return DType.from_name(type_str)
+    except ValueError:
+        return default
+
+
+def tensor_ref_bytes(ref: Sequence) -> int:
+    """Bytes of one recorded tensor identity tuple (``numel × itemsize``)."""
+    return int(ref[3]) * int(ref[4])
+
+
+def tensor_bytes_from_shape(shape: Optional[Sequence], type_str: str) -> int:
+    """Bytes of a tensor described by recorded shape + type string."""
+    numel = int(math.prod(int(dim) for dim in shape)) if shape else 1
+    return numel * dtype_from_type_string(type_str).itemsize
+
+
+def node_input_tensor_bytes(node: ETNode) -> int:
+    """Total bytes of all tensor inputs of a node."""
+    return sum(tensor_ref_bytes(ref) for ref in node.input_tensor_refs())
+
+
+def node_output_tensor_bytes(node: ETNode) -> int:
+    """Total bytes of all tensor outputs of a node."""
+    return sum(tensor_ref_bytes(ref) for ref in node.output_tensor_refs())
 
 
 def iter_top_level_operators(trace: ExecutionTrace) -> List[ETNode]:

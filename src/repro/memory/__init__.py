@@ -1,0 +1,79 @@
+"""Device-memory simulation subsystem.
+
+Mystique validates replay fidelity on *system* metrics — memory usage
+chief among them (Figure 5) — and the rest of this reproduction models
+time while treating memory as free and infinite.  This subpackage closes
+that gap with a static, deterministic simulation of device memory:
+
+* :mod:`~repro.memory.allocator` — a CUDA-caching-allocator model (block
+  rounding and splitting, per-stream free-list reuse, ``reserved`` vs
+  ``allocated``, fragmentation, simulated OOM),
+* :mod:`~repro.memory.lifetimes` — tensor lifetime/liveness analysis over
+  an execution trace (first def / last use per tensor identity, parameter
+  vs activation vs gradient classification),
+* :mod:`~repro.memory.timeline` — the stepwise footprint curve an
+  execution trace implies, driven through the allocator,
+* :mod:`~repro.memory.report` — :func:`~repro.memory.report.simulate_memory`
+  and the :class:`~repro.memory.report.MemoryReport` consumed by the
+  pipeline stage, the CLI, the cluster engine and the scale-down checker.
+
+Everything is derived from the trace alone — no replay execution needed —
+so memory what-ifs (does this 40 GiB trace fit a 16 GiB V100?) cost
+milliseconds, and enabling tracking never perturbs replay timing results.
+"""
+
+from repro.memory.allocator import (
+    AllocatorStats,
+    CachingAllocator,
+    SimulatedOOM,
+    device_capacity_bytes,
+    format_bytes,
+    parse_byte_size,
+)
+from repro.memory.lifetimes import (
+    ALL_ROLES,
+    ROLE_ACTIVATION,
+    ROLE_GRADIENT,
+    ROLE_PARAMETER,
+    LifetimeAnalysis,
+    TensorLifetime,
+    analyze_lifetimes,
+)
+from repro.memory.timeline import (
+    FootprintPoint,
+    MemoryTimeline,
+    OOMEvent,
+    simulate_footprint,
+)
+from repro.memory.report import (
+    MemoryReport,
+    SimulatedOOMError,
+    check_device_fit,
+    format_memory_report,
+    simulate_memory,
+)
+
+__all__ = [
+    "AllocatorStats",
+    "CachingAllocator",
+    "SimulatedOOM",
+    "device_capacity_bytes",
+    "format_bytes",
+    "parse_byte_size",
+    "ALL_ROLES",
+    "ROLE_PARAMETER",
+    "ROLE_ACTIVATION",
+    "ROLE_GRADIENT",
+    "LifetimeAnalysis",
+    "TensorLifetime",
+    "analyze_lifetimes",
+    "FootprintPoint",
+    "MemoryTimeline",
+    "OOMEvent",
+    "simulate_footprint",
+    "MemoryReport",
+    "SimulatedOOMError",
+    "check_device_fit",
+    "format_memory_report",
+    "simulate_memory",
+]

@@ -1,0 +1,197 @@
+"""Tensor lifetime and liveness analysis over an execution trace.
+
+The replayer's tensor manager already distinguishes *intermediate* tensors
+(produced by a replayed operator) from *external* ones (parameters, the
+input batch); the memory subsystem needs more: **when** each tensor comes
+alive, **when** it dies, **how big** it is, and **what role** it plays.
+This module derives all four statically from the trace — no replay needed —
+by walking the selected operators in execution order:
+
+* a tensor first seen as an *input* with no recorded producer is
+  **external** (``parameter``): it must exist before the iteration starts
+  and survives the whole iteration (the replayer keeps external tensors
+  across iterations),
+* a tensor first seen as an *output* of an operator inside the autograd
+  engine's scope (``autograd::engine::evaluate_function`` wrappers, via
+  :func:`repro.et.analyzer.backward_node_ids`) is a **gradient**,
+* any other produced tensor is an **activation**; its lifetime runs from
+  its producing operator to its last recorded use.
+
+Tensors are keyed by ``(tensor_id, storage_id)``, the same identity the
+replayer's :class:`~repro.core.tensors.TensorManager` uses, so aliased
+views of one storage are counted once.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.et.analyzer import (
+    backward_node_ids,
+    iter_top_level_operators,
+    tensor_ref_bytes,
+)
+from repro.et.schema import ETNode
+from repro.et.trace import ExecutionTrace
+
+#: A tensor's identity within the analysis: (tensor_id, storage_id).
+TensorKey = Tuple[int, int]
+
+#: Lifetime role labels.
+ROLE_PARAMETER = "parameter"
+ROLE_ACTIVATION = "activation"
+ROLE_GRADIENT = "gradient"
+ALL_ROLES = (ROLE_PARAMETER, ROLE_ACTIVATION, ROLE_GRADIENT)
+
+
+@dataclass
+class TensorLifetime:
+    """Birth, death, size and role of one recorded tensor."""
+
+    key: TensorKey
+    nbytes: int
+    #: Index (into the analysed operator order) where the tensor comes
+    #: alive: its producing operator, or its first use when external.
+    first_index: int
+    #: Index of the last operator that reads or writes the tensor.
+    last_index: int
+    #: ID of the producing trace node; ``None`` for external tensors.
+    producer_node_id: Optional[int]
+    role: str
+
+    @property
+    def external(self) -> bool:
+        return self.producer_node_id is None
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "tensor_id": self.key[0],
+            "storage_id": self.key[1],
+            "nbytes": self.nbytes,
+            "first_index": self.first_index,
+            "last_index": self.last_index,
+            "producer_node_id": self.producer_node_id,
+            "role": self.role,
+        }
+
+
+@dataclass
+class LifetimeAnalysis:
+    """All tensor lifetimes of one trace, plus the operator order they
+    are indexed against."""
+
+    operators: List[ETNode] = field(default_factory=list)
+    lifetimes: Dict[TensorKey, TensorLifetime] = field(default_factory=dict)
+
+    def __len__(self) -> int:
+        return len(self.lifetimes)
+
+    # ------------------------------------------------------------------
+    def by_role_bytes(self) -> Dict[str, int]:
+        """Total bytes per lifetime role (parameters/activations/gradients)."""
+        totals = {role: 0 for role in ALL_ROLES}
+        for lifetime in self.lifetimes.values():
+            totals[lifetime.role] = totals.get(lifetime.role, 0) + lifetime.nbytes
+        return totals
+
+    def external_bytes(self) -> int:
+        return sum(l.nbytes for l in self.lifetimes.values() if l.external)
+
+    def total_bytes(self) -> int:
+        return sum(l.nbytes for l in self.lifetimes.values())
+
+    # ------------------------------------------------------------------
+    _birth_index: Optional[Dict[int, List[TensorLifetime]]] = None
+    _death_index: Optional[Dict[int, List[TensorLifetime]]] = None
+
+    def births_at(self, index: int) -> List[TensorLifetime]:
+        """Lifetimes starting at operator ``index``, largest first (a
+        deterministic allocation order for the footprint simulation)."""
+        if self._birth_index is None:
+            self._birth_index = {}
+            for lifetime in sorted(
+                self.lifetimes.values(), key=lambda l: (-l.nbytes, l.key)
+            ):
+                self._birth_index.setdefault(lifetime.first_index, []).append(lifetime)
+        return list(self._birth_index.get(index, ()))
+
+    def deaths_at(self, index: int) -> List[TensorLifetime]:
+        """Non-external lifetimes ending at operator ``index``.
+
+        External tensors never die inside the iteration — the replayer
+        keeps them across iterations, exactly like model parameters.
+        """
+        if self._death_index is None:
+            self._death_index = {}
+            for lifetime in sorted(self.lifetimes.values(), key=lambda l: l.key):
+                if not lifetime.external:
+                    self._death_index.setdefault(lifetime.last_index, []).append(lifetime)
+        return list(self._death_index.get(index, ()))
+
+    def live_bytes_peak(self) -> int:
+        """Peak of the analytical live-byte curve (no allocator effects).
+
+        The lower bound any allocator must reserve; the caching-allocator
+        simulation reports how much a real pool needs on top of it.
+        """
+        peak = 0
+        live = 0
+        for index in range(len(self.operators)):
+            live += sum(l.nbytes for l in self.births_at(index))
+            peak = max(peak, live)
+            live -= sum(l.nbytes for l in self.deaths_at(index))
+        return peak
+
+
+def analyze_lifetimes(
+    trace: ExecutionTrace,
+    entries: Optional[Sequence] = None,
+) -> LifetimeAnalysis:
+    """Derive every tensor lifetime of ``trace``.
+
+    ``entries`` may pass a pre-computed replay selection (objects carrying
+    ``.node``, e.g. :class:`~repro.core.selection.ReplayPlanEntry`) so the
+    analysis sees exactly the operators a replay would run; without it the
+    parent/child-deduplicated top-level operators are used.
+    """
+    if entries is not None:
+        operators = [entry.node for entry in entries]
+    else:
+        operators = iter_top_level_operators(trace)
+    backward_ids = backward_node_ids(trace)
+
+    analysis = LifetimeAnalysis(operators=operators)
+    lifetimes = analysis.lifetimes
+    for index, node in enumerate(operators):
+        for ref in node.input_tensor_refs():
+            key = (int(ref[0]), int(ref[1]))
+            lifetime = lifetimes.get(key)
+            if lifetime is None:
+                lifetimes[key] = TensorLifetime(
+                    key=key,
+                    nbytes=tensor_ref_bytes(ref),
+                    first_index=index,
+                    last_index=index,
+                    producer_node_id=None,
+                    role=ROLE_PARAMETER,
+                )
+            else:
+                lifetime.last_index = index
+        for ref in node.output_tensor_refs():
+            key = (int(ref[0]), int(ref[1]))
+            lifetime = lifetimes.get(key)
+            if lifetime is None:
+                role = ROLE_GRADIENT if node.id in backward_ids else ROLE_ACTIVATION
+                lifetimes[key] = TensorLifetime(
+                    key=key,
+                    nbytes=tensor_ref_bytes(ref),
+                    first_index=index,
+                    last_index=index,
+                    producer_node_id=node.id,
+                    role=role,
+                )
+            else:
+                # In-place writes extend the existing lifetime.
+                lifetime.last_index = index
+    return analysis

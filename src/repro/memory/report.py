@@ -1,0 +1,228 @@
+"""Memory reports: peak/average footprint, attribution, OOM semantics.
+
+:func:`simulate_memory` is the subsystem's one-stop entry point — trace in,
+:class:`MemoryReport` out — used by the ``track-memory`` pipeline stage,
+the ``memory-report`` CLI subcommand, the cluster engine's per-rank
+footprints and the scale-down validator.  The report carries:
+
+* peak / average **allocated** and peak **reserved** bytes (the caching
+  allocator's two curves),
+* byte attribution per tensor role (parameters / activations / gradients)
+  and per operator category (first-touch),
+* the structured :class:`~repro.memory.timeline.OOMEvent` when the trace
+  does not fit, including the allocator snapshot at failure, and
+* a verdict (:attr:`MemoryReport.fits`) against the effective budget.
+
+OOM semantics: the simulation never raises by itself — an OOM is data (the
+report records it and ``fits`` turns false).  Callers that want replay to
+stop, such as ``TrackMemoryStage(on_oom="raise")`` or the scale-down
+validator, raise :class:`SimulatedOOMError` from the recorded event.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Sequence, Union
+
+from repro.et.trace import ExecutionTrace
+from repro.hardware.specs import DeviceSpec
+from repro.memory.allocator import (
+    AllocatorStats,
+    device_capacity_bytes,
+    format_bytes,
+    parse_byte_size,
+)
+from repro.memory.lifetimes import LifetimeAnalysis, analyze_lifetimes
+from repro.memory.timeline import FootprintPoint, MemoryTimeline, OOMEvent, simulate_footprint
+
+#: What budget arguments accept: bytes, or a "4GB"-style string.
+ByteSize = Union[int, float, str]
+
+
+class SimulatedOOMError(RuntimeError):
+    """A simulated replay did not fit the device-memory budget.
+
+    Raised by consumers that treat an OOM as fatal (``on_oom="raise"``,
+    scale-down validation); carries the structured :class:`OOMEvent`.
+    """
+
+    def __init__(self, event: OOMEvent) -> None:
+        self.event = event
+        super().__init__(event.describe())
+
+
+@dataclass
+class MemoryReport:
+    """Everything one trace's memory simulation produced."""
+
+    trace_name: str
+    device: str
+    capacity_bytes: int
+    #: What-if budget the allocator actually ran with (≤ capacity); equals
+    #: ``capacity_bytes`` when no budget was given.
+    budget_bytes: int
+    peak_allocated_bytes: int = 0
+    peak_reserved_bytes: int = 0
+    average_allocated_bytes: float = 0.0
+    live_bytes_peak: int = 0
+    num_tensors: int = 0
+    external_bytes: int = 0
+    by_role_bytes: Dict[str, int] = field(default_factory=dict)
+    by_category_bytes: Dict[str, int] = field(default_factory=dict)
+    oom: Optional[OOMEvent] = None
+    allocator: AllocatorStats = field(default_factory=AllocatorStats)
+    timeline: List[FootprintPoint] = field(default_factory=list)
+
+    # ------------------------------------------------------------------
+    @property
+    def fits(self) -> bool:
+        """True when the whole trace replayed within the budget."""
+        return self.oom is None
+
+    @property
+    def headroom_bytes(self) -> int:
+        """Unused budget at the reserved peak (negative never happens —
+        an OOM is recorded instead)."""
+        return self.budget_bytes - self.peak_reserved_bytes
+
+    @property
+    def fragmentation(self) -> float:
+        """Reserved-but-not-allocated share at the reserved peak."""
+        if self.peak_reserved_bytes <= 0:
+            return 0.0
+        return 1.0 - self.peak_allocated_bytes / self.peak_reserved_bytes
+
+    # ------------------------------------------------------------------
+    def summary_dict(self) -> Dict[str, Any]:
+        """The compact, scalar view (what per-rank cluster reports embed)."""
+        return {
+            "trace_name": self.trace_name,
+            "device": self.device,
+            "capacity_bytes": self.capacity_bytes,
+            "budget_bytes": self.budget_bytes,
+            "peak_allocated_bytes": self.peak_allocated_bytes,
+            "peak_reserved_bytes": self.peak_reserved_bytes,
+            "average_allocated_bytes": self.average_allocated_bytes,
+            "live_bytes_peak": self.live_bytes_peak,
+            "num_tensors": self.num_tensors,
+            "external_bytes": self.external_bytes,
+            "by_role_bytes": dict(self.by_role_bytes),
+            "by_category_bytes": dict(self.by_category_bytes),
+            "fits": self.fits,
+            "headroom_bytes": self.headroom_bytes,
+            "oom": self.oom.to_dict(include_snapshot=False) if self.oom is not None else None,
+        }
+
+    def to_dict(self, include_timeline: bool = True) -> Dict[str, Any]:
+        data = self.summary_dict()
+        if self.oom is not None:
+            data["oom"] = self.oom.to_dict()
+        data["allocator"] = self.allocator.to_dict()
+        if include_timeline:
+            data["timeline"] = [point.to_dict() for point in self.timeline]
+        return data
+
+    def raise_if_oom(self) -> "MemoryReport":
+        """Turn a recorded OOM into :class:`SimulatedOOMError`; chainable."""
+        if self.oom is not None:
+            raise SimulatedOOMError(self.oom)
+        return self
+
+
+# ----------------------------------------------------------------------
+def resolve_budget_bytes(
+    device: "str | DeviceSpec",
+    budget: Optional[ByteSize] = None,
+) -> int:
+    """The allocator pool implied by a device and an optional budget.
+
+    A budget larger than the device is allowed (what-if on a bigger part);
+    ``None`` means the device's capacity.
+    """
+    if budget is None:
+        return device_capacity_bytes(device)
+    return parse_byte_size(budget)
+
+
+def simulate_memory(
+    trace: ExecutionTrace,
+    device: "str | DeviceSpec" = "A100",
+    budget: Optional[ByteSize] = None,
+    entries: Optional[Sequence] = None,
+    trace_name: str = "",
+    stream_for: Optional[Any] = None,
+    keep_timeline: bool = True,
+) -> MemoryReport:
+    """Simulate replaying ``trace`` through a caching allocator sized for
+    ``device`` (or the smaller what-if ``budget``) and build the report."""
+    device_name = device if isinstance(device, str) else device.name
+    capacity = device_capacity_bytes(device)
+    pool = resolve_budget_bytes(device, budget)
+    analysis: LifetimeAnalysis = analyze_lifetimes(trace, entries)
+    timeline: MemoryTimeline = simulate_footprint(
+        trace,
+        capacity_bytes=pool,
+        lifetimes=analysis,
+        stream_for=stream_for,
+    )
+    name = trace_name or str(trace.metadata.get("workload", ""))
+    return MemoryReport(
+        trace_name=name,
+        device=device_name,
+        capacity_bytes=capacity,
+        budget_bytes=pool,
+        peak_allocated_bytes=timeline.peak_allocated_bytes,
+        peak_reserved_bytes=timeline.peak_reserved_bytes,
+        average_allocated_bytes=timeline.average_allocated_bytes,
+        live_bytes_peak=timeline.live_bytes_peak,
+        num_tensors=len(analysis),
+        external_bytes=analysis.external_bytes(),
+        by_role_bytes=analysis.by_role_bytes(),
+        by_category_bytes=dict(timeline.by_category_bytes),
+        oom=timeline.oom,
+        allocator=timeline.stats,
+        timeline=list(timeline.points) if keep_timeline else [],
+    )
+
+
+def check_device_fit(
+    trace: ExecutionTrace,
+    device: "str | DeviceSpec",
+    budget: Optional[ByteSize] = None,
+    trace_name: str = "",
+) -> MemoryReport:
+    """Validate that ``trace`` fits ``device``; raises
+    :class:`SimulatedOOMError` (with the failing op named) when it does
+    not, and returns the report when it does."""
+    report = simulate_memory(
+        trace, device=device, budget=budget, trace_name=trace_name, keep_timeline=False
+    )
+    return report.raise_if_oom()
+
+
+# ----------------------------------------------------------------------
+# Text rendering
+# ----------------------------------------------------------------------
+def format_memory_report(report: MemoryReport, title: str = "") -> str:
+    """Fixed-width text rendering of one memory report."""
+    from repro.bench.reporting import format_table
+
+    if not title:
+        name = report.trace_name or "trace"
+        title = f"Memory report: {name} on {report.device}"
+    rows = [
+        ["peak allocated", format_bytes(report.peak_allocated_bytes)],
+        ["peak reserved", format_bytes(report.peak_reserved_bytes)],
+        ["average allocated", format_bytes(report.average_allocated_bytes)],
+        ["live-byte peak (analytical)", format_bytes(report.live_bytes_peak)],
+        ["budget", format_bytes(report.budget_bytes)],
+        ["headroom", format_bytes(report.headroom_bytes)],
+        ["fragmentation at peak", f"{report.fragmentation * 100.0:.1f} %"],
+        ["tensors", report.num_tensors],
+    ]
+    for role, nbytes in sorted(report.by_role_bytes.items()):
+        rows.append([f"{role} bytes", format_bytes(nbytes)])
+    for category, nbytes in sorted(report.by_category_bytes.items()):
+        rows.append([f"alloc by {category} ops", format_bytes(nbytes)])
+    rows.append(["status", "OK" if report.fits else report.oom.describe()])
+    return format_table(["metric", "value"], rows, title=title)

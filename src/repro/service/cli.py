@@ -1,16 +1,23 @@
 """``python -m repro`` — the batch orchestration command line.
 
-Five subcommands drive the service layer:
+Six subcommands drive the service layer:
 
 ``list-traces``
     Discover and validate the traces in a repository directory.
 ``replay``
     Replay one or more traces under a single configuration, through the
-    worker pool and the result cache.
+    worker pool and the result cache (``--memory`` adds the simulated
+    device-memory footprint per trace).
 ``replay-dist``
     Co-replay a directory of per-rank traces as one fleet through the
     multi-rank cluster engine (virtual-time collective scheduler) and
-    print the per-rank / critical-path report.
+    print the per-rank / critical-path report (``--memory`` adds
+    per-rank footprints and the max-rank summary).
+``memory-report``
+    Simulate the device-memory footprint of traces *without replaying
+    them*: peak/average allocated and reserved bytes, per-role and
+    per-category attribution, and OOM what-ifs against ``--budget-gb``
+    or a smaller ``--device``.
 ``sweep``
     Cross product of traces x devices x config axes (power limits,
     communication-delay scales, iterations ...), batched and cached.
@@ -20,35 +27,39 @@ Five subcommands drive the service layer:
 
 Replays are executed through the :mod:`repro.api` facade (and therefore
 the stage pipeline); ``--iterations``/``--warmup`` pass straight through
-to the :class:`~repro.core.replayer.ReplayConfig` every job runs under,
-and ``repro --version`` reports the package version.
+to the :class:`~repro.core.replayer.ReplayConfig` every job runs under.
+Every subcommand supports ``--json`` for machine-readable output; all
+payloads are built by the shared :mod:`repro.service.serialize` module.
 
 Examples
 --------
 ::
 
     python -m repro list-traces --repo traces/
-    python -m repro replay --repo traces/ --trace rm_et --device A100 -n 3
-    python -m repro replay-dist traces/rm_4rank/ --device A100 -n 2
+    python -m repro replay --repo traces/ --trace rm_et --device A100 -n 3 --memory
+    python -m repro replay-dist traces/rm_4rank/ --device A100 -n 2 --memory
+    python -m repro memory-report --repo traces/ --device V100 --budget-gb 8 --json
     python -m repro sweep --repo traces/ --device A100 --device NewPlatform \\
         --power-limit 250 --power-limit 400 --cache .repro-cache --workers 4
     python -m repro version
 
-Every command exits 0 on success, 1 when any job failed, and 2 on usage
-errors (argparse's convention).
+Every command exits 0 on success, 1 when any job failed (or, for
+``memory-report``, any trace did not fit), and 2 on usage errors
+(argparse's convention).
 """
 
 from __future__ import annotations
 
 import argparse
-import json
 import sys
-from typing import List, Optional, Sequence
+from typing import Dict, List, Optional, Sequence
 
 import repro.api as api
 from repro.bench.aggregate import cache_summary_line, format_batch_report, format_device_aggregate
 from repro.bench.reporting import format_table
 from repro.core.replayer import ReplayConfig
+from repro.memory import MemoryReport, format_bytes, format_memory_report, simulate_memory
+from repro.service import serialize
 from repro.service.batch import BACKENDS
 from repro.service.repository import TraceRepository
 from repro.service.sweep import SweepSpec
@@ -80,6 +91,7 @@ def build_parser() -> argparse.ArgumentParser:
     )
     replay_parser.add_argument("--device", default="A100", help="device spec name (default: A100)")
     _add_config_arguments(replay_parser)
+    _add_memory_arguments(replay_parser)
     replay_parser.add_argument("--json", action="store_true", help="emit JSON instead of a table")
 
     dist_parser = subparsers.add_parser(
@@ -101,7 +113,28 @@ def build_parser() -> argparse.ArgumentParser:
         help="rendezvous guard against mismatched fleets (default: 60)",
     )
     _add_config_arguments(dist_parser)
+    _add_memory_arguments(dist_parser)
     dist_parser.add_argument("--json", action="store_true", help="emit JSON instead of a table")
+
+    memory_parser = subparsers.add_parser(
+        "memory-report",
+        help="simulate traces' device-memory footprints (no replay)",
+    )
+    _add_repo_argument(memory_parser)
+    memory_parser.add_argument(
+        "--trace", action="append", default=None, metavar="NAME",
+        help="trace name to analyse (repeatable; default: every trace in the repo)",
+    )
+    memory_parser.add_argument("--device", default="A100", help="device spec name (default: A100)")
+    memory_parser.add_argument(
+        "--budget-gb", type=float, default=None, metavar="GIB",
+        help="what-if pool size in GiB (default: the device's capacity)",
+    )
+    memory_parser.add_argument(
+        "--timeline", action="store_true",
+        help="include the per-op footprint timeline in --json output",
+    )
+    memory_parser.add_argument("--json", action="store_true", help="emit JSON instead of a table")
 
     sweep_parser = subparsers.add_parser(
         "sweep", help="cross-device / cross-config sweep over a trace repository"
@@ -127,7 +160,8 @@ def build_parser() -> argparse.ArgumentParser:
     _add_config_arguments(sweep_parser)
     sweep_parser.add_argument("--json", action="store_true", help="emit JSON instead of tables")
 
-    subparsers.add_parser("version", help="print the package version")
+    version_parser = subparsers.add_parser("version", help="print the package version")
+    version_parser.add_argument("--json", action="store_true", help="emit JSON")
 
     return parser
 
@@ -163,6 +197,31 @@ def _add_config_arguments(parser: argparse.ArgumentParser) -> None:
     )
 
 
+def _add_memory_arguments(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--memory", action="store_true",
+        help="also report the simulated device-memory footprint",
+    )
+    parser.add_argument(
+        "--memory-budget-gb", type=float, default=None, metavar="GIB",
+        help="what-if memory pool in GiB for --memory (default: device capacity)",
+    )
+
+
+def _budget_bytes(budget_gb: Optional[float]) -> Optional[int]:
+    return int(budget_gb * (1 << 30)) if budget_gb is not None else None
+
+
+def _reject_orphan_flag(args: argparse.Namespace) -> Optional[str]:
+    """Catch dependent flags whose enabling flag is absent — they would
+    otherwise be silently ignored (usage error, exit 2)."""
+    if getattr(args, "memory_budget_gb", None) is not None and not getattr(args, "memory", False):
+        return "--memory-budget-gb requires --memory"
+    if getattr(args, "timeline", False) and not getattr(args, "json", False):
+        return "--timeline only affects --json output; pass --json too"
+    return None
+
+
 # ----------------------------------------------------------------------
 # Subcommand implementations
 # ----------------------------------------------------------------------
@@ -170,22 +229,7 @@ def _cmd_list_traces(args: argparse.Namespace) -> int:
     repository = TraceRepository(args.repo)
     records = repository.discover()
     if args.json:
-        payload = {
-            "traces": [
-                {
-                    "name": record.name,
-                    "path": str(record.path),
-                    "digest": record.digest,
-                    "nodes": record.num_nodes,
-                    "operators": record.num_operators,
-                    "workload": record.workload,
-                    "world_size": record.world_size,
-                }
-                for record in records
-            ],
-            "invalid": {str(path): reason for path, reason in sorted(repository.invalid.items())},
-        }
-        print(json.dumps(payload, indent=2))
+        print(serialize.dumps(serialize.trace_list_payload(repository)))
         return 0
     headers = ["name", "workload", "nodes", "operators", "world_size", "digest"]
     rows = [
@@ -222,20 +266,46 @@ def _cmd_replay_dist(args: argparse.Namespace) -> int:
     )
     if args.world is not None:
         session.world(args.world)
+    if args.memory:
+        session.with_memory(budget=_budget_bytes(args.memory_budget_gb))
     try:
         report = session.run()
     except (ClusterMatchError, ClusterReplayError, OSError) as error:
         print(f"error: {error}", file=sys.stderr)
         return 1
     if args.json:
-        print(json.dumps(report.to_dict(), indent=2))
+        print(serialize.dumps(serialize.cluster_payload(report)))
     else:
         print(format_cluster_report(report))
+        if report.has_memory:
+            print()
+            print(_format_cluster_memory(report))
     return 0
 
 
+def _cmd_memory_report(args: argparse.Namespace) -> int:
+    try:
+        reports = _memory_reports(
+            args.repo, args.trace, args.device, _budget_bytes(args.budget_gb)
+        )
+    except (ValueError, KeyError) as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 1
+    if args.json:
+        print(serialize.dumps(serialize.memory_payload(reports, include_timeline=args.timeline)))
+    else:
+        print(_format_memory_summary(reports, args.device))
+        for report in reports.values():
+            print()
+            print(format_memory_report(report))
+    return 1 if any(not report.fits for report in reports.values()) else 0
+
+
 def _cmd_version(args: argparse.Namespace) -> int:
-    print(f"repro {__version__}")
+    if getattr(args, "json", False):
+        print(serialize.dumps(serialize.version_payload(__version__)))
+    else:
+        print(f"repro {__version__}")
     return 0
 
 
@@ -264,28 +334,19 @@ def _run_sweep(args: argparse.Namespace, spec: SweepSpec) -> int:
             workers=args.workers,
             backend=args.backend,
         )
+        memory_reports: Optional[Dict[str, MemoryReport]] = None
+        if getattr(args, "memory", False):
+            replayed = sorted({job_result.job.trace_name for job_result in result.batch})
+            memory_reports = _memory_reports(
+                args.repo, replayed or None, args.device,
+                _budget_bytes(args.memory_budget_gb),
+            )
     except (ValueError, KeyError) as error:
         print(f"error: {error}", file=sys.stderr)
         return 1
     batch = result.batch
     if args.json:
-        payload = {
-            "jobs": [
-                {
-                    "label": job_result.job.label,
-                    "trace": job_result.job.trace_name,
-                    "device": job_result.job.config.device,
-                    "cached": job_result.cached,
-                    "error": job_result.error,
-                    "summary": job_result.summary.to_dict() if job_result.summary else None,
-                }
-                for job_result in batch
-            ],
-            "replayed": batch.replayed_count,
-            "cached": batch.cached_count,
-            "failed": batch.error_count,
-        }
-        print(json.dumps(payload, indent=2))
+        print(serialize.dumps(serialize.batch_payload(batch, memory_reports)))
     else:
         print(format_batch_report(batch))
         if len({job_result.job.config.device for job_result in batch}) > 1:
@@ -293,17 +354,98 @@ def _run_sweep(args: argparse.Namespace, spec: SweepSpec) -> int:
             print(format_device_aggregate(batch))
         print()
         print(cache_summary_line(batch))
+        if memory_reports is not None:
+            print()
+            print(_format_memory_summary(memory_reports, args.device))
     return 1 if batch.error_count else 0
+
+
+# ----------------------------------------------------------------------
+# Memory helpers
+# ----------------------------------------------------------------------
+def _memory_reports(
+    repo: str,
+    trace_names: Optional[Sequence[str]],
+    device: str,
+    budget_bytes: Optional[int],
+) -> Dict[str, MemoryReport]:
+    """Simulate the memory footprint of the named repository traces."""
+    repository = TraceRepository(repo)
+    records = {record.name: record for record in repository.discover()}
+    names = list(trace_names) if trace_names else sorted(records)
+    unknown = sorted(set(names) - set(records))
+    if unknown:
+        # ValueError, not KeyError: str(KeyError) repr-quotes the message.
+        raise ValueError(
+            f"trace(s) {unknown} not found in {repo!r} (known: {sorted(records)})"
+        )
+    reports: Dict[str, MemoryReport] = {}
+    for name in names:
+        trace = repository.load(name)
+        reports[name] = simulate_memory(
+            trace, device=device, budget=budget_bytes, trace_name=name
+        )
+    return reports
+
+
+def _format_memory_summary(reports: Dict[str, MemoryReport], device: str) -> str:
+    """One compact row per trace (full per-trace tables follow separately)."""
+    rows = [
+        [
+            name,
+            format_bytes(report.peak_allocated_bytes),
+            format_bytes(report.peak_reserved_bytes),
+            format_bytes(report.budget_bytes),
+            "OK" if report.fits else f"OOM at {report.oom.op_name}",
+        ]
+        for name, report in reports.items()
+    ]
+    return format_table(
+        ["trace", "peak_alloc", "peak_reserved", "budget", "status"],
+        rows,
+        title=f"Simulated device memory on {device}",
+    )
+
+
+def _format_cluster_memory(report) -> str:
+    """Per-rank memory rows plus the max-rank summary for replay-dist."""
+    rows = [
+        [
+            rank.rank,
+            format_bytes(rank.memory.peak_allocated_bytes),
+            format_bytes(rank.memory.peak_reserved_bytes),
+            "OK" if rank.memory.fits else f"OOM at {rank.memory.oom.op_name}",
+        ]
+        for rank in report.ranks
+        if rank.memory is not None
+    ]
+    table = format_table(
+        ["rank", "peak_alloc", "peak_reserved", "status"],
+        rows,
+        title="Per-rank simulated device memory",
+    )
+    summary = (
+        f"fleet peak {format_bytes(report.peak_allocated_bytes)} "
+        f"on rank {report.max_memory_rank}"
+    )
+    if report.oom_ranks:
+        summary += f"; OOM rank(s): {report.oom_ranks}"
+    return f"{table}\n{summary}"
 
 
 def main(argv: Optional[Sequence[str]] = None) -> int:
     """CLI entry point; returns the process exit code."""
     parser = build_parser()
     args = parser.parse_args(argv)
+    usage_error = _reject_orphan_flag(args)
+    if usage_error is not None:
+        print(f"error: {usage_error}", file=sys.stderr)
+        return 2
     handlers = {
         "list-traces": _cmd_list_traces,
         "replay": _cmd_replay,
         "replay-dist": _cmd_replay_dist,
+        "memory-report": _cmd_memory_report,
         "sweep": _cmd_sweep,
         "version": _cmd_version,
     }

@@ -1,0 +1,125 @@
+"""Property-based tests for the caching-allocator model (``repro.memory``).
+
+Mirrors the style of ``tests/test_property_hardware.py``: random alloc/free
+programs are generated and the allocator's structural invariants are
+asserted after every step —
+
+* the free list and block map never corrupt (blocks tile their segments
+  exactly, counters match the block map),
+* ``reserved >= allocated`` at all times,
+* freeing everything returns every byte to the cache, and ``empty_cache``
+  then returns the pool to empty,
+* size rounding is monotone and quantised.
+"""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.memory.allocator import (
+    MIN_BLOCK_BYTES,
+    CachingAllocator,
+    SimulatedOOM,
+    round_block_size,
+    segment_size_for,
+)
+
+#: Allocation programs: (size, stream, free-target) triples.  Sizes span
+#: the small pool, the shared large pool and dedicated segments.
+program_steps = st.lists(
+    st.tuples(
+        st.integers(min_value=1, max_value=12 << 20),     # request bytes
+        st.integers(min_value=0, max_value=2),            # stream
+        st.integers(min_value=0, max_value=10**6),        # free selector
+        st.booleans(),                                    # free after this step?
+    ),
+    min_size=1,
+    max_size=60,
+)
+
+
+class TestAllocatorProperties:
+    @given(st.integers(min_value=1, max_value=1 << 30))
+    @settings(max_examples=300, deadline=None)
+    def test_rounding_quantised_and_monotone(self, nbytes):
+        rounded = round_block_size(nbytes)
+        assert rounded >= nbytes
+        assert rounded % MIN_BLOCK_BYTES == 0
+        assert round_block_size(nbytes + 1) >= rounded
+        assert segment_size_for(rounded) >= rounded
+
+    @given(program_steps)
+    @settings(max_examples=200, deadline=None)
+    def test_alloc_free_program_never_corrupts_state(self, steps):
+        allocator = CachingAllocator(capacity_bytes=256 << 20)
+        live = []
+        for size, stream, selector, do_free in steps:
+            try:
+                live.append(allocator.malloc(size, stream=stream))
+            except SimulatedOOM:
+                pass  # capacity pressure is legal; state must stay sound
+            if do_free and live:
+                allocator.free(live.pop(selector % len(live)))
+            stats = allocator.stats()
+            # Invariant 1: reserved always covers allocated.
+            assert stats.reserved_bytes >= stats.allocated_bytes
+            # Invariant 2: the block map and counters agree.
+            allocator.check_consistency()
+            # Invariant 3: peaks are monotone bounds.
+            assert stats.peak_allocated_bytes >= stats.allocated_bytes
+            assert stats.peak_reserved_bytes >= stats.reserved_bytes
+            # Invariant 4: allocated equals the sum of live block sizes.
+            assert stats.allocated_bytes == sum(block.size for block in live)
+
+        # Full free: everything returns to the cache...
+        for block in live:
+            allocator.free(block)
+        allocator.check_consistency()
+        stats = allocator.stats()
+        assert stats.allocated_bytes == 0
+        assert stats.active_blocks == 0
+        assert stats.alloc_count == stats.free_count
+        # ... and empty_cache returns the pool to empty.
+        allocator.empty_cache()
+        final = allocator.stats()
+        assert final.reserved_bytes == 0
+        assert final.segments == 0
+        assert final.device_frees == final.device_mallocs
+        allocator.check_consistency()
+
+    @given(program_steps)
+    @settings(max_examples=100, deadline=None)
+    def test_allocations_never_overlap(self, steps):
+        allocator = CachingAllocator(capacity_bytes=256 << 20)
+        live = []
+        for size, stream, selector, do_free in steps:
+            try:
+                live.append(allocator.malloc(size, stream=stream))
+            except SimulatedOOM:
+                pass
+            if do_free and live:
+                allocator.free(live.pop(selector % len(live)))
+        # Live blocks within one segment must occupy disjoint ranges.
+        by_segment = {}
+        for block in live:
+            by_segment.setdefault(id(block.segment), []).append(block)
+        for blocks in by_segment.values():
+            blocks.sort(key=lambda b: b.offset)
+            for earlier, later in zip(blocks, blocks[1:]):
+                assert earlier.offset + earlier.size <= later.offset
+
+    @given(
+        st.integers(min_value=1, max_value=4 << 20),
+        st.integers(min_value=1, max_value=30),
+    )
+    @settings(max_examples=100, deadline=None)
+    def test_same_size_reuse_is_cached(self, size, repeats):
+        """Alloc/free cycles of one size never grow the pool past the
+        first allocation's reservation — the free-list reuse property."""
+        allocator = CachingAllocator(capacity_bytes=256 << 20)
+        block = allocator.malloc(size)
+        reserved_after_first = allocator.reserved_bytes
+        allocator.free(block)
+        for _ in range(repeats):
+            block = allocator.malloc(size)
+            allocator.free(block)
+        assert allocator.reserved_bytes == reserved_after_first
+        assert allocator.stats().device_mallocs == 1
