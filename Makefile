@@ -3,7 +3,7 @@
 PYTHON ?= python
 export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH),)
 
-.PHONY: test test-cluster test-memory bench lint example-sweep clean
+.PHONY: test test-cluster test-memory test-profiling bench bench-fast lint example-sweep clean
 
 test:
 	$(PYTHON) -m pytest -x -q
@@ -20,8 +20,19 @@ test-memory:
 	$(PYTHON) -m pytest tests/test_memory_subsystem.py tests/test_property_memory.py -q
 	$(PYTHON) -m repro memory-report --help > /dev/null
 
+# Replay-throughput profiler + vectorized execute path: aggregation and
+# byte-identical-equivalence tests plus a CLI smoke run of `repro profile`.
+test-profiling:
+	$(PYTHON) -m pytest tests/test_profiling.py tests/test_vectorized_equivalence.py -q
+	$(PYTHON) -m repro profile --help > /dev/null
+
 bench:
 	$(PYTHON) -m pytest benchmarks/ -q
+
+# Just the replay-engine throughput benchmark: refreshes
+# BENCH_replay_throughput.json at the repo root in a few seconds.
+bench-fast:
+	$(PYTHON) -m pytest benchmarks/test_bench_trajectory.py benchmarks/test_replay_throughput.py -q
 
 lint:
 	$(PYTHON) -m compileall -q src tests benchmarks examples

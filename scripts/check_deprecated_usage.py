@@ -1,50 +1,101 @@
 #!/usr/bin/env python3
-"""CI guard: the deprecated ``Replayer`` entry point must not be used
-inside ``src/`` outside its own shim module.
+"""CI guard against deprecated / banned API usage inside ``src/``.
 
-Every replay in the package goes through ``repro.core.pipeline.ReplayPipeline``
-(usually via the ``repro.api`` facade); ``Replayer`` exists only for external
-back-compat.  This check fails when any ``src/`` module other than the shim
-instantiates it, so deprecated usage cannot creep back into the codebase.
+Two rules, one pass:
+
+* The deprecated ``Replayer`` entry point must not be used inside ``src/``
+  outside its own shim module — every replay goes through
+  ``repro.core.pipeline.ReplayPipeline`` (usually via ``repro.api``).
+* ``time.time(`` is banned wherever the package measures *host* durations
+  (``src/repro/bench/`` and ``src/repro/profiling/``): it is not monotonic
+  (NTP slews and clock steps corrupt measured windows), so all wall-time
+  deltas use ``time.perf_counter()``.
 
 Run from the repository root (``make lint`` does).  Exit code 0 when clean,
-1 with a file:line listing otherwise.
+1 with a file:line listing otherwise.  ``tests/test_profiling.py`` drives
+:func:`find_offenders` directly to keep the rules themselves honest.
 """
 
 from __future__ import annotations
 
 import re
 import sys
+from dataclasses import dataclass, field
 from pathlib import Path
+from typing import Dict, List, Tuple
 
-SRC = Path("src")
-SHIM = SRC / "repro" / "core" / "replayer.py"
-#: Instantiation of the deprecated class.  Word boundary keeps subclasses
-#: and wrappers like ``BatchReplayer(`` out of scope.
-PATTERN = re.compile(r"\bReplayer\(")
+
+@dataclass(frozen=True)
+class Rule:
+    """One banned-usage rule: a pattern, where it applies, and why."""
+
+    name: str
+    pattern: re.Pattern
+    #: Directories (relative to the repo root) the rule scans.
+    roots: Tuple[str, ...]
+    message: str
+    #: Files (relative to the repo root) exempt from the rule.
+    exempt: Tuple[str, ...] = field(default=())
+
+
+RULES = (
+    Rule(
+        name="deprecated-replayer",
+        # Word boundary keeps subclasses and wrappers like
+        # ``BatchReplayer(`` out of scope.
+        pattern=re.compile(r"\bReplayer\("),
+        roots=("src",),
+        exempt=("src/repro/core/replayer.py",),
+        message=(
+            "deprecated Replayer used directly inside src/ (use repro.api or "
+            "repro.core.pipeline.ReplayPipeline instead)"
+        ),
+    ),
+    Rule(
+        name="non-monotonic-clock",
+        pattern=re.compile(r"\btime\.time\("),
+        roots=("src/repro/bench", "src/repro/profiling"),
+        message=(
+            "time.time() used where host durations are measured (it is not "
+            "monotonic; use time.perf_counter())"
+        ),
+    ),
+)
+
+
+def find_offenders(root: Path = Path(".")) -> Dict[str, List[str]]:
+    """Scan the tree under ``root``; rule name -> ``file:line: text`` hits."""
+    offenders: Dict[str, List[str]] = {}
+    for rule in RULES:
+        exempt = {root / path for path in rule.exempt}
+        for scan_root in rule.roots:
+            base = root / scan_root
+            if not base.is_dir():
+                continue
+            for path in sorted(base.rglob("*.py")):
+                if path in exempt:
+                    continue
+                for lineno, line in enumerate(path.read_text().splitlines(), start=1):
+                    if rule.pattern.search(line):
+                        offenders.setdefault(rule.name, []).append(
+                            f"{path}:{lineno}: {line.strip()}"
+                        )
+    return offenders
 
 
 def main() -> int:
-    if not SRC.is_dir():
+    if not Path("src").is_dir():
         print("check_deprecated_usage: run from the repository root", file=sys.stderr)
         return 2
-    offenders = []
-    for path in sorted(SRC.rglob("*.py")):
-        if path == SHIM:
-            continue
-        for lineno, line in enumerate(path.read_text().splitlines(), start=1):
-            if PATTERN.search(line):
-                offenders.append(f"{path}:{lineno}: {line.strip()}")
+    offenders = find_offenders()
     if offenders:
-        print(
-            "deprecated Replayer used directly inside src/ (use repro.api or "
-            "repro.core.pipeline.ReplayPipeline instead):",
-            file=sys.stderr,
-        )
-        for offender in offenders:
-            print(f"  {offender}", file=sys.stderr)
+        messages = {rule.name: rule.message for rule in RULES}
+        for name, hits in sorted(offenders.items()):
+            print(f"{messages[name]}:", file=sys.stderr)
+            for hit in hits:
+                print(f"  {hit}", file=sys.stderr)
         return 1
-    print("check_deprecated_usage: OK (no direct Replayer use outside the shim)")
+    print(f"check_deprecated_usage: OK ({len(RULES)} rules, no offenders)")
     return 0
 
 

@@ -92,6 +92,7 @@ from repro.memory import (
 )
 from repro.core.registry import ReplaySupport
 from repro.core.replayer import ReplayConfig, ReplayResult, ReplayResultSummary
+from repro.profiling import ProfileHook, ProfileReport
 from repro.service.batch import BatchReplayer
 from repro.service.cache import ResultCache
 from repro.service.repository import TraceRepository
@@ -275,6 +276,9 @@ __all__ = [
     "MetricsTapHook",
     "ErrorCollectorHook",
     "MemoryHook",
+    # replay-engine profiling
+    "ProfileHook",
+    "ProfileReport",
     # configuration / results
     "ReplayConfig",
     "ReplayResult",

@@ -53,6 +53,8 @@ class ClusterSession:
         self._strict_match = True
         self._track_memory = False
         self._memory_budget: Optional[Any] = None
+        self._profile = False
+        self._profile_at_exit = False
 
     # ------------------------------------------------------------------
     # Configuration
@@ -125,6 +127,20 @@ class ClusterSession:
         self._memory_budget = budget
         return self
 
+    def with_profiling(self, report_at_exit: bool = False) -> "ClusterSession":
+        """Profile every replica's replay engine (host wall time per op).
+
+        Each rank runs with its own :class:`~repro.profiling.ProfileHook`
+        (replicas replay on concurrent worker threads, so the hooks are
+        never shared); the aggregated per-rank
+        :class:`~repro.profiling.ProfileReport` objects are available as
+        ``report.rank_report(r).profile`` / ``report.profile_reports``.
+        Timing results and cache digests are unaffected.
+        """
+        self._profile = True
+        self._profile_at_exit = report_at_exit
+        return self
+
     # ------------------------------------------------------------------
     # Execution policy
     # ------------------------------------------------------------------
@@ -150,6 +166,15 @@ class ClusterSession:
     # ------------------------------------------------------------------
     def run(self) -> ClusterReport:
         """Pre-flight-match, co-replay the fleet, and aggregate the report."""
+        profile_hook_factory = None
+        if self._profile:
+            from repro.profiling import ProfileHook
+
+            at_exit = self._profile_at_exit
+
+            def profile_hook_factory(rank: int) -> ProfileHook:
+                return ProfileHook(report_at_exit=at_exit)
+
         replayer = ClusterReplayer(
             config=self._config,
             backend=self._backend,
@@ -158,6 +183,7 @@ class ClusterSession:
             support=self._support,
             track_memory=self._track_memory,
             memory_budget=self._memory_budget,
+            profile_hook_factory=profile_hook_factory,
         )
         fleet = self._fleet
         if isinstance(fleet, (str, Path)):

@@ -64,6 +64,7 @@ class ReplaySession:
         self._support = support
         self._pipeline = (pipeline if pipeline is not None else ReplayPipeline.default()).clone()
         self._runtime: Optional[Runtime] = None
+        self._profile_hook: Optional[Any] = None
 
     # ------------------------------------------------------------------
     # Configuration
@@ -158,6 +159,29 @@ class ReplaySession:
             self._pipeline.insert_after("assign-streams", stage)
         return self
 
+    def with_profiling(
+        self, hook: Optional[Any] = None, report_at_exit: bool = False
+    ) -> "ReplaySession":
+        """Profile the replay engine itself (host wall time per operator).
+
+        Attaches a :class:`~repro.profiling.ProfileHook` to the session's
+        pipeline; after :meth:`run` the aggregated
+        :class:`~repro.profiling.ProfileReport` is available as
+        ``result.profile_report``.  Profiling observes through the hook
+        protocol only — replay results and cache digests are unchanged, and
+        sessions without the hook pay zero per-op overhead.  Pass a
+        pre-built ``hook`` to share or customise aggregation;
+        ``report_at_exit=True`` prints the hot-first summary at interpreter
+        shutdown (tinygrad-style).
+        """
+        from repro.profiling import ProfileHook
+
+        self._profile_hook = (
+            hook if hook is not None else ProfileHook(report_at_exit=report_at_exit)
+        )
+        self._pipeline.add_hook(self._profile_hook)
+        return self
+
     # ------------------------------------------------------------------
     # Observation and stage composition
     # ------------------------------------------------------------------
@@ -221,7 +245,15 @@ class ReplaySession:
 
     def run(self) -> ReplayResult:
         """Execute the pipeline and return the full measurement."""
-        return self._pipeline.run(self.build_context())
+        context = self.build_context()
+        result = self._pipeline.run(context)
+        if self._profile_hook is not None:
+            result.profile_report = self._profile_hook.report(
+                trace_name=str(context.trace.metadata.get("workload", "")),
+                device=self._config.device,
+                vectorized=getattr(self._config, "vectorized", True),
+            )
+        return result
 
     def run_context(self) -> ReplayContext:
         """Execute the pipeline and return the threaded context.

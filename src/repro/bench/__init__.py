@@ -11,7 +11,10 @@ uses to regenerate every table and figure of the paper:
   the static reference data of Table 1,
 * :mod:`~repro.bench.aggregate` — roll-ups over batch replay results
   (per-job tables, per-device aggregates, cache accounting) used by the
-  ``repro.service`` sweep layer and CLI.
+  ``repro.service`` sweep layer and CLI,
+* :mod:`~repro.bench.throughput` — the replay *engine's* own throughput
+  (scalar vs vectorized ops/sec, profiler overhead), written to the
+  versioned ``BENCH_replay_throughput.json`` trajectory file.
 """
 
 from repro.bench.harness import (
@@ -30,6 +33,15 @@ from repro.bench.aggregate import (
     cache_summary_line,
     format_batch_report,
     format_device_aggregate,
+)
+from repro.bench.throughput import (
+    BENCH_FILENAME,
+    BENCH_SCHEMA_VERSION,
+    format_report as format_throughput_report,
+    measure_execute_throughput,
+    measure_profiler_overhead,
+    run_benchmark as run_throughput_benchmark,
+    write_report as write_throughput_report,
 )
 
 __all__ = [
@@ -50,4 +62,11 @@ __all__ = [
     "format_table",
     "format_series",
     "MLPERF_TRAINING_BENCHMARKS",
+    "BENCH_FILENAME",
+    "BENCH_SCHEMA_VERSION",
+    "format_throughput_report",
+    "measure_execute_throughput",
+    "measure_profiler_overhead",
+    "run_throughput_benchmark",
+    "write_throughput_report",
 ]

@@ -29,7 +29,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 from pathlib import Path
-from typing import Any, Dict, List, Optional, Sequence, Tuple, Union
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple, Union
 
 from repro.core.comms_replay import CommReplayManager
 from repro.core.registry import ReplaySupport
@@ -158,6 +158,10 @@ class RankReport:
     #: (:class:`~repro.memory.report.MemoryReport`); ``None`` unless the
     #: fleet was replayed with memory tracking enabled.
     memory: Optional[Any] = None
+    #: Host wall-time profile of this rank's replay engine
+    #: (:class:`~repro.profiling.ProfileReport`); ``None`` unless the fleet
+    #: was replayed with profiling enabled.
+    profile: Optional[Any] = None
 
     @property
     def mean_iteration_time_us(self) -> float:
@@ -180,6 +184,8 @@ class RankReport:
         # serialise exactly as they did before the memory subsystem.
         if self.memory is not None:
             data["memory"] = self.memory.summary_dict()
+        if self.profile is not None:
+            data["profile"] = self.profile.to_dict()
         return data
 
 
@@ -261,6 +267,21 @@ class ClusterReport:
             if rank.memory is not None and not rank.memory.fits
         )
 
+    # ------------------------------------------------------------------
+    @property
+    def has_profiles(self) -> bool:
+        return any(rank.profile is not None for rank in self.ranks)
+
+    @property
+    def profile_reports(self) -> Dict[int, Any]:
+        """Per-rank :class:`~repro.profiling.ProfileReport` objects, for
+        fleets replayed with profiling enabled (empty dict otherwise)."""
+        return {
+            rank.rank: rank.profile
+            for rank in self.ranks
+            if rank.profile is not None
+        }
+
     def to_dict(self) -> Dict[str, Any]:
         data = {
             "device": self.device,
@@ -322,6 +343,7 @@ class ClusterReplayer:
         support: Optional[ReplaySupport] = None,
         track_memory: bool = False,
         memory_budget: Optional[Any] = None,
+        profile_hook_factory: Optional[Callable[[int], Any]] = None,
     ) -> None:
         if backend not in ("thread", "serial"):
             raise ValueError(
@@ -338,6 +360,12 @@ class ClusterReplayer:
         #: the max-rank summary onto the :class:`ClusterReport`.
         self.track_memory = track_memory
         self.memory_budget = memory_budget
+        #: rank -> :class:`~repro.profiling.ProfileHook` factory.  When set,
+        #: every replica runs with its own profiling hook and the aggregated
+        #: :class:`~repro.profiling.ProfileReport` lands on its
+        #: :class:`RankReport` — one hook per rank because replicas replay on
+        #: concurrent worker threads.
+        self.profile_hook_factory = profile_hook_factory
 
     # ------------------------------------------------------------------
     @staticmethod
@@ -403,22 +431,30 @@ class ClusterReplayer:
             participants=ranks,
             timeout_s=self.timeout_s,
         )
-        replicas = [
-            RankReplica.from_trace(
-                trace,
-                rendezvous,
-                self.config,
-                profiler_trace=profiler,
-                overrides=(rank_overrides or {}).get(int(trace.metadata.get("rank", 0))),
-                support=self.support,
-                track_memory=self.track_memory,
-                memory_budget=self.memory_budget,
+        profile_hooks: Dict[int, Any] = {}
+        replicas = []
+        for trace, profiler in zip(fleet, profilers):
+            rank = int(trace.metadata.get("rank", 0))
+            hooks = None
+            if self.profile_hook_factory is not None:
+                profile_hooks[rank] = self.profile_hook_factory(rank)
+                hooks = (profile_hooks[rank],)
+            replicas.append(
+                RankReplica.from_trace(
+                    trace,
+                    rendezvous,
+                    self.config,
+                    profiler_trace=profiler,
+                    overrides=(rank_overrides or {}).get(rank),
+                    support=self.support,
+                    hooks=hooks,
+                    track_memory=self.track_memory,
+                    memory_budget=self.memory_budget,
+                )
             )
-            for trace, profiler in zip(fleet, profilers)
-        ]
 
         results = self._execute(replicas)
-        return self._aggregate(fleet, replicas, results, rendezvous, match)
+        return self._aggregate(fleet, replicas, results, rendezvous, match, profile_hooks)
 
     # ------------------------------------------------------------------
     def _normalize(
@@ -510,6 +546,7 @@ class ClusterReplayer:
         results: List[ReplayResult],
         rendezvous: CollectiveRendezvous,
         match: CollectiveMatchReport,
+        profile_hooks: Optional[Dict[int, Any]] = None,
     ) -> ClusterReport:
         stats = rendezvous.stats(
             measure_start_by_rank={
@@ -531,6 +568,14 @@ class ClusterReplayer:
         )
         for replica, result in zip(replicas, results):
             timeline = result.timeline_stats
+            profile = None
+            hook = (profile_hooks or {}).get(replica.rank)
+            if hook is not None:
+                profile = hook.report(
+                    trace_name=str(replica.trace.metadata.get("workload", "")),
+                    device=replica.config.device,
+                    vectorized=getattr(replica.config, "vectorized", True),
+                )
             report.ranks.append(
                 RankReport(
                     rank=replica.rank,
@@ -539,6 +584,7 @@ class ClusterReplayer:
                     exposed_comm_us=timeline.category_exposed_time_us.get("comms", 0.0),
                     stall_us=stats.stall_us_by_rank.get(replica.rank, 0.0),
                     memory=result.memory_report,
+                    profile=profile,
                 )
             )
         return report

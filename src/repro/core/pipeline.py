@@ -41,6 +41,7 @@ from repro.core.registry import ReplaySupport
 from repro.core.selection import OperatorSelector, SelectionResult
 from repro.core.streams import StreamAssigner, StreamAssignment
 from repro.core.tensors import TensorManager
+from repro.core.vectorize import replay_entries_vectorized
 from repro.hardware.counters import compute_system_metrics
 from repro.hardware.network import CollectiveCostModel, InterconnectSpec
 from repro.torchsim.distributed import DistributedContext
@@ -289,7 +290,22 @@ class ExecuteStage(ReplayStage):
 
     # ------------------------------------------------------------------
     def _replay_once(self, context: ReplayContext, runtime: Runtime) -> tuple:
-        """Replay every selected operator once, in execution order."""
+        """Replay every selected operator once, in execution order.
+
+        Dispatches to the vectorized executor (:mod:`repro.core.vectorize`)
+        unless ``config.vectorized=False`` or an execution-graph observer is
+        recording (the fast path reproduces clocks, kernels and profiler
+        events, but not observer callbacks).  Both paths produce
+        byte-identical replay results.
+        """
+        if getattr(context.config, "vectorized", True) and (
+            runtime.observer is None or not runtime.observer.enabled
+        ):
+            return replay_entries_vectorized(context, runtime)
+        return self._replay_once_scalar(context, runtime)
+
+    def _replay_once_scalar(self, context: ReplayContext, runtime: Runtime) -> tuple:
+        """The reference one-op-at-a-time loop (``vectorized=False``)."""
         replayed = 0
         skipped = 0
         notify = bool(context.hooks)

@@ -68,6 +68,16 @@ class ReplayConfig:
     comm_delay_scale: float = 1.0
     comm_extra_delay_us: float = 0.0
     profile: bool = True
+    #: Execution *strategy*, not replay semantics: group repeated operator
+    #: invocations by (op, shape signature, dtype, stream) and replay each
+    #: group from a captured program priced through the batched cost-model
+    #: entry point, instead of one Python dispatch per op.  Results and
+    #: cache digests are byte-identical either way (asserted by
+    #: ``tests/test_vectorized_equivalence.py``), which is why this field
+    #: is excluded from :meth:`to_dict` and :meth:`digest` — the two modes
+    #: must share cache entries.  ``False`` forces the scalar reference
+    #: path.
+    vectorized: bool = True
 
     # ------------------------------------------------------------------
     # Serialisation / identity
@@ -83,8 +93,14 @@ class ReplayConfig:
         Derived from the dataclass fields (``asdict`` recurses into the
         nested embedding/interconnect dataclasses), so a field added later
         is automatically part of the serialised form and the digest.
+
+        ``vectorized`` is deliberately *not* part of the canonical form:
+        it selects an execution strategy with byte-identical results, and
+        including it would split the service layer's result cache into two
+        keys for one measurement.  :meth:`from_dict` still accepts it.
         """
         data = asdict(self)
+        data.pop("vectorized", None)
         if data.get("categories") is not None:
             data["categories"] = list(data["categories"])
         return data
@@ -170,6 +186,11 @@ class ReplayResult:
     #: when a ``track-memory`` stage ran; ``None`` otherwise.  Not part of
     #: :meth:`summarize`, so cached result digests are unaffected.
     memory_report: Optional[Any] = None
+    #: Wall-clock profile of the replay itself (``repro.profiling``),
+    #: populated only when the session ran ``.with_profiling()``; ``None``
+    #: otherwise.  Not part of :meth:`summarize` either — profiling a
+    #: replay never changes what it measures.
+    profile_report: Optional[Any] = None
 
     @property
     def mean_iteration_time_us(self) -> float:

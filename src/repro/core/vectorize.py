@@ -1,0 +1,716 @@
+"""Vectorized operator replay — the :class:`ExecuteStage` fast path.
+
+The scalar execute loop interprets one operator at a time: schema-compiled
+callable → runtime dispatch → per-kernel cost-model pricing, all in pure
+Python.  Profiling (``repro.profiling``) shows that for a converged replay
+every iteration repeats *exactly* the same operator programs — same inputs,
+same kernels, same durations — so re-interpreting them is wasted work.
+
+This module groups operators Chakra-style by an *operator signature*
+``(reconstructed IR, stream, input tensor fingerprints)`` and captures, on
+the first occurrence of each signature, the operator's complete effect on
+the runtime as an :class:`OpProgram`:
+
+* how far it advances the issuing CPU thread's clock,
+* how many execution-trace node IDs it consumes,
+* the kernels it launches (descriptor, launch-time offset, stream,
+  duration) and the profiler events it records.
+
+The second occurrence is replayed scalar again and compared field-for-field
+against the stored program; only on an exact match is the program
+*verified* and its kernel group priced through the batched cost-model entry
+point (:meth:`~repro.hardware.costmodel.KernelCostModel.batch_duration_us`,
+bit-identical to scalar pricing).  From then on the signature replays
+through :meth:`VectorizedExecutor._fast_replay`, which reproduces the
+captured effect — same node IDs, same correlation IDs, same launch
+timestamps, same profiler events — without touching the operator registry
+or the per-op cost model at all.  Anything that fails capture or
+verification (value-dependent ops, comms, clock-reading internals) is bound
+to the scalar path forever, so correctness never depends on the fast path
+applying.
+
+Equivalence contract: with ``ReplayConfig.vectorized=True`` (the default)
+every replay product — iteration times, timeline stats, kernel launches,
+profiler traces, cached result digests — is byte-identical to
+``vectorized=False``.  ``tests/test_vectorized_equivalence.py`` asserts
+this property over randomized workloads.
+
+Operators that are *not* eligible, and why:
+
+* ``comms`` category — collectives use ``start_not_before`` (cross-stream
+  data dependencies), ``blocking=True`` launches and explicit durations
+  from the interconnect model, all of which read global timeline state, so
+  their effect is not a pure function of the operator's start time.
+* operators whose outputs include async :class:`~repro.torchsim.distributed.Work`
+  handles (same reason).
+* operators that switch CPU threads mid-call or whose second occurrence
+  diverges from the first in any captured field.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.torchsim.distributed import Work
+from repro.torchsim.kernel import KernelDesc, KernelLaunch, OpCategory
+from repro.torchsim.profiler import Profiler, TraceEvent
+from repro.torchsim.runtime import Runtime
+from repro.torchsim.tensor import Tensor
+
+#: Key under which the per-replay executor lives in ``context.extras``.
+EXTRAS_KEY = "vectorized_executor"
+
+#: Sentinel distinguishing "node never seen" from "node bound to scalar".
+_UNSEEN = object()
+
+#: Program lifecycle states.
+_UNVERIFIED = "unverified"
+_VERIFIED = "verified"
+_DEAD = "dead"
+
+
+class _DataFingerprintCache:
+    """Content fingerprints for tensor payloads, cached by array identity.
+
+    Embedding-lookup cost depends on index *values* (Section 4.4), so a
+    tensor's payload must be part of its signature.  Hashing the payload on
+    every occurrence would dominate the fast path; instead the digest is
+    cached under ``id(array)`` with the array object pinned in the cache so
+    the id cannot be recycled while the entry lives.
+    """
+
+    def __init__(self) -> None:
+        self._by_id: Dict[int, Tuple[np.ndarray, str]] = {}
+
+    def token(self, array: np.ndarray) -> str:
+        key = id(array)
+        hit = self._by_id.get(key)
+        if hit is not None and hit[0] is array:
+            return hit[1]
+        digest = hashlib.sha1(np.ascontiguousarray(array).tobytes()).hexdigest()
+        self._by_id[key] = (array, digest)
+        return digest
+
+
+@dataclass
+class _KernelTemplate:
+    """One captured kernel launch.
+
+    ``ts_index`` points into the operator's reconstructed clock-value trace
+    (see :class:`OpProgram`): the kernel's CPU-side launch timestamp is the
+    clock value at that index, which reproduces the scalar path's exact
+    floating-point value (a ``start + offset`` shortcut would not — IEEE
+    addition is not associative).
+    """
+
+    desc: KernelDesc
+    ts_index: int
+    duration: float
+    stream_id: int
+    node_offset: int
+    op_name: str
+    category: OpCategory
+
+    def as_tuple(self) -> tuple:
+        return (
+            self.desc,
+            self.ts_index,
+            self.duration,
+            self.stream_id,
+            self.node_offset,
+            self.op_name,
+            self.category,
+        )
+
+
+@dataclass
+class OpProgram:
+    """The captured runtime effect of one operator signature.
+
+    ``increments`` is the exact sequence of ``advance_cpu`` deltas the
+    operator applied to its thread's clock.  Replaying them one addition at
+    a time regenerates the operator's *clock-value trace* ``values[i]``
+    (``values[0]`` = the op's start time, ``values[i]`` = the clock after
+    the i-th advance) with every intermediate float bit-identical to the
+    scalar path.  Kernel launch timestamps and profiler-event spans are
+    stored as indices into that trace, never as offsets — floating-point
+    addition is not associative, so offsets would drift in the last bits.
+
+    ``events`` stores the profiler events the scalar path would record, in
+    recording order: ``("k", kernel_index)`` entries reference a kernel
+    template (replayed with live timestamps/correlations), ``("c", name,
+    cat, ts_index, end_index, tid, node_offset)`` entries are CPU-side
+    spans whose start/end are clock-trace values.
+    """
+
+    signature: Any
+    op_name: str
+    thread: str
+    node_count: int
+    increments: List[float]
+    kernels: List[_KernelTemplate]
+    events: List[tuple]
+    outputs: Any
+    state: str = _UNVERIFIED
+    #: How many of the group's kernels the batched cost-model evaluation
+    #: confirmed (the rest carried explicit durations).
+    batch_priced: int = 0
+
+    def matches(self, other: "OpProgram") -> bool:
+        """Field-for-field equality of two captures of the same signature."""
+        return (
+            self.node_count == other.node_count
+            and self.increments == other.increments
+            and self.thread == other.thread
+            and len(self.kernels) == len(other.kernels)
+            and all(
+                a.as_tuple() == b.as_tuple() for a, b in zip(self.kernels, other.kernels)
+            )
+            and self.events == other.events
+        )
+
+
+class _FastBinding:
+    """A node bound to a verified program, plus its precomputed output
+    registrations — everything the hot loop needs without re-decoding."""
+
+    __slots__ = ("program", "pairs")
+
+    def __init__(self, program: OpProgram, pairs: List[tuple]) -> None:
+        self.program = program
+        self.pairs = pairs
+
+
+class VectorizedExecutor:
+    """Per-replay state of the vectorized execute loop.
+
+    Owned by one :class:`~repro.core.pipeline.ReplayContext` (stored in
+    ``context.extras``) so programs learned during warm-up iterations are
+    reused across every later iteration of the same replay.
+    """
+
+    def __init__(self) -> None:
+        #: signature → learned program (any state).
+        self._programs: Dict[Any, OpProgram] = {}
+        #: node id → :class:`_FastBinding` (verified), an unverified
+        #: :class:`OpProgram`, or ``None`` for scalar-forever.
+        self._bindings: Dict[int, Any] = {}
+        self._fingerprints = _DataFingerprintCache()
+        #: Counters for tests and the profiling report: how many per-op
+        #: replays took which path across all iterations so far.
+        self.stats: Dict[str, int] = {
+            "fast_ops": 0,
+            "scalar_ops": 0,
+            "programs_captured": 0,
+            "programs_verified": 0,
+            "programs_dead": 0,
+            "kernels_batch_priced": 0,
+        }
+
+    # ------------------------------------------------------------------
+    # The replacement for ExecuteStage's scalar loop
+    # ------------------------------------------------------------------
+    def replay_entries(self, context, runtime: Runtime) -> Tuple[int, int]:
+        """Replay every selected operator once; mirrors the scalar loop."""
+        replayed = 0
+        skipped = 0
+        notify = bool(context.hooks)
+        tensor_manager = context.tensor_manager
+        stream_assignment = context.stream_assignment
+        use_streams = context.config.use_streams
+        default_stream = stream_assignment.default_stream
+        reconstructed_map = context.reconstructed
+        bindings = self._bindings
+        stats = self.stats
+
+        fast_ops = 0
+        scalar_ops = 0
+        tensor_manager.reset_intermediates()
+        for entry in context.selection.entries:
+            if not entry.supported:
+                skipped += 1
+                continue
+            node_id = entry.node.id
+            binding = bindings.get(node_id, _UNSEEN)
+
+            # Hot path: node bound to a verified program.
+            if binding.__class__ is _FastBinding:
+                result = self._fast_replay(runtime, binding.program)
+                tensor_manager.register_pairs(binding.pairs)
+                replayed += 1
+                fast_ops += 1
+                if notify:
+                    context.emit_op_replayed(entry, result)
+                continue
+            if binding is not None and binding is not _UNSEEN:
+                if binding.state == _DEAD:
+                    bindings[node_id] = None
+                    binding = None
+                # _UNVERIFIED falls through to the learning path below.
+
+            reconstructed = reconstructed_map.get(node_id)
+            if reconstructed is None:
+                skipped += 1
+                continue
+            tensors = tensor_manager.gather_inputs(entry.node)
+            stream = (
+                stream_assignment.stream_for(node_id) if use_streams else default_stream
+            )
+
+            if binding is None or entry.category == "comms":
+                if binding is not None:  # first comms occurrence: bind scalar
+                    bindings[node_id] = None
+                result = reconstructed.function(runtime, *tensors, stream=stream)
+                scalar_ops += 1
+            else:
+                result = self._learn(
+                    runtime, tensor_manager, entry, reconstructed, tensors, stream
+                )
+            tensor_manager.register_outputs(entry.node, result)
+            replayed += 1
+            if notify:
+                context.emit_op_replayed(entry, result)
+        stats["fast_ops"] += fast_ops
+        stats["scalar_ops"] += scalar_ops
+        return replayed, skipped
+
+    # ------------------------------------------------------------------
+    # Learning: signature → capture → verify
+    # ------------------------------------------------------------------
+    def _learn(
+        self,
+        runtime: Runtime,
+        tensor_manager,
+        entry,
+        reconstructed,
+        tensors: Sequence[Any],
+        stream: int,
+    ) -> Any:
+        """Scalar-replay one occurrence while advancing its program's state."""
+        node = entry.node
+        node_id = node.id
+        signature = self._signature(reconstructed, stream, tensors)
+        if signature is None:
+            # Inputs we cannot fingerprint — never vectorize this node.
+            self._bindings[node_id] = None
+            self.stats["scalar_ops"] += 1
+            return reconstructed.function(runtime, *tensors, stream=stream)
+
+        program = self._programs.get(signature)
+        if program is not None and program.state == _VERIFIED:
+            self._bind_fast(tensor_manager, node, program)
+            self.stats["fast_ops"] += 1
+            return self._fast_replay(runtime, program)
+        if program is not None and program.state == _DEAD:
+            self._bindings[node_id] = None
+            self.stats["scalar_ops"] += 1
+            return reconstructed.function(runtime, *tensors, stream=stream)
+
+        capture, result = self._capture(runtime, signature, reconstructed, tensors, stream)
+        self.stats["scalar_ops"] += 1
+        if capture is None:
+            # Not capturable (thread switch, Work outputs, inconsistent IDs).
+            dead = OpProgram(
+                signature=signature,
+                op_name=reconstructed.op_name,
+                thread="",
+                node_count=0,
+                increments=[],
+                kernels=[],
+                events=[],
+                outputs=None,
+                state=_DEAD,
+            )
+            self._programs[signature] = dead
+            self._bindings[node_id] = None
+            self.stats["programs_dead"] += 1
+            return result
+
+        if program is None:
+            # First occurrence: remember the capture, await verification.
+            self._programs[signature] = capture
+            self._bindings[node_id] = capture
+            self.stats["programs_captured"] += 1
+            return result
+
+        # Second occurrence: verify the stored program against a fresh
+        # capture, then price the kernel group through the batched entry
+        # point.  Any divergence kills the signature for the whole replay.
+        if program.matches(capture):
+            self._batch_price(runtime, program)
+            program.state = _VERIFIED
+            self._bind_fast(tensor_manager, node, program)
+            self.stats["programs_verified"] += 1
+        else:
+            program.state = _DEAD
+            self._bindings[node_id] = None
+            self.stats["programs_dead"] += 1
+        return result
+
+    def _bind_fast(self, tensor_manager, node, program: OpProgram) -> None:
+        """Bind a node to a verified program for all later iterations."""
+        self._bindings[node.id] = _FastBinding(
+            program, tensor_manager.output_pairs(node, program.outputs)
+        )
+
+    def _capture(
+        self,
+        runtime: Runtime,
+        signature: Any,
+        reconstructed,
+        tensors: Sequence[Any],
+        stream: int,
+    ) -> Tuple[Optional[OpProgram], Any]:
+        """Run one scalar occurrence, recording its effect on the runtime.
+
+        Returns ``(program, result)``; ``program`` is ``None`` when the
+        operator's effect cannot be replayed from a template.  The
+        operator's side effects (clock, kernels, profiler events) are real
+        — capture observes, it never replays.
+        """
+        thread = runtime.current_thread
+        clocks_before = runtime.cpu_clocks()
+        start = runtime.now(thread)
+        node_base = runtime.node_cursor
+        correlation_base = runtime.correlation_cursor
+        launch_base = runtime.gpu.launch_count
+
+        # Record the exact clock arithmetic: every advance_cpu delta on the
+        # issuing thread, in order.  block_until (and any advance on another
+        # thread) makes the clock depend on global state, which a template
+        # cannot reproduce — either invalidates the capture.
+        increments: List[float] = []
+        tainted = [False]
+
+        def recording_advance(microseconds, thread_name=None, _rt=runtime):
+            name = thread_name or _rt.current_thread
+            if name == thread:
+                increments.append(microseconds)
+            else:
+                tainted[0] = True
+            return Runtime.advance_cpu(_rt, microseconds, thread_name)
+
+        def recording_block_until(timestamp, thread_name=None, _rt=runtime):
+            tainted[0] = True
+            return Runtime.block_until(_rt, timestamp, thread_name)
+
+        # Swap in an always-on capture profiler so event templates exist
+        # even during warm-up (when the real profiler is stopped).  Captured
+        # events are re-emitted to the real profiler afterwards, preserving
+        # exactly what the scalar path would have recorded.
+        real_profiler = runtime.profiler
+        capture_profiler = Profiler()
+        capture_profiler.start()
+        runtime.profiler = capture_profiler
+        runtime.advance_cpu = recording_advance  # type: ignore[method-assign]
+        runtime.block_until = recording_block_until  # type: ignore[method-assign]
+        try:
+            result = reconstructed.function(runtime, *tensors, stream=stream)
+        finally:
+            del runtime.advance_cpu
+            del runtime.block_until
+            runtime.profiler = real_profiler
+        if real_profiler is not None and real_profiler.enabled:
+            for event in capture_profiler.trace.events:
+                if event.cat == "kernel":
+                    real_profiler.record_kernel(event)
+                else:
+                    real_profiler.record_cpu_op(event)
+
+        launches = runtime.gpu.launches_since(launch_base)
+        node_count = runtime.node_cursor - node_base
+        correlation_count = runtime.correlation_cursor - correlation_base
+
+        # Reconstruct the clock-value trace the recorded increments imply
+        # and check it accounts for the thread's final clock exactly.
+        values = [start]
+        value = start
+        for increment in increments:
+            value = value + increment
+            values.append(value)
+
+        if tainted[0] or not self._capture_is_replayable(
+            runtime, thread, clocks_before, result, launches,
+            node_base, node_count, correlation_count, values, increments,
+        ):
+            return None, result
+
+        kernels: List[_KernelTemplate] = []
+        for launch in launches:
+            ts_index = _value_index(values, launch.launch_ts)
+            if ts_index < 0:
+                return None, result
+            kernels.append(
+                _KernelTemplate(
+                    desc=launch.desc,
+                    ts_index=ts_index,
+                    duration=launch.duration,
+                    stream_id=launch.stream_id,
+                    node_offset=launch.op_node_id - node_base,
+                    op_name=launch.op_name,
+                    category=launch.category,
+                )
+            )
+
+        events: List[tuple] = []
+        for event in capture_profiler.trace.events:
+            if event.cat == "kernel":
+                index = event.correlation - correlation_base
+                if not 0 <= index < len(launches):
+                    return None, result
+                events.append(("k", index))
+            else:
+                ts_index = _value_index(values, event.ts)
+                end_index = _span_end_index(values, ts_index, event.dur)
+                if ts_index < 0 or end_index < 0:
+                    return None, result
+                events.append(
+                    (
+                        "c",
+                        event.name,
+                        event.cat,
+                        ts_index,
+                        end_index,
+                        event.tid,
+                        event.op_node_id - node_base,
+                    )
+                )
+
+        program = OpProgram(
+            signature=signature,
+            op_name=reconstructed.op_name,
+            thread=thread,
+            node_count=node_count,
+            increments=increments,
+            kernels=kernels,
+            events=events,
+            outputs=result,
+        )
+        return program, result
+
+    @staticmethod
+    def _capture_is_replayable(
+        runtime: Runtime,
+        thread: str,
+        clocks_before: Dict[str, float],
+        result: Any,
+        launches: Sequence[KernelLaunch],
+        node_base: int,
+        node_count: int,
+        correlation_count: int,
+        values: Sequence[float],
+        increments: Sequence[float],
+    ) -> bool:
+        """Whether a captured occurrence is a pure function of its start time."""
+        if node_count < 1:
+            return False
+        if correlation_count != len(launches):
+            return False
+        if runtime.current_thread != thread:
+            return False
+        # The recorded increments must fully explain the clock movement
+        # (monotonically, so trace-value matching is unambiguous).
+        if runtime.now(thread) != values[-1]:
+            return False
+        if any(increment < 0 for increment in increments):
+            return False
+        # The operator must not have touched any other CPU thread's clock
+        # (a runtime.thread() switch would); new threads count as touched.
+        clocks_after = runtime.cpu_clocks()
+        for name, clock in clocks_after.items():
+            if name == thread:
+                continue
+            if clocks_before.get(name) != clock:
+                return False
+        # Async work handles tie the result to the live timeline.
+        outputs = result if isinstance(result, (list, tuple)) else [result]
+        if any(isinstance(item, Work) for item in outputs):
+            return False
+        for launch in launches:
+            if not launch.resolved:
+                return False
+            if not node_base <= launch.op_node_id < node_base + node_count:
+                return False
+        return True
+
+    def _batch_price(self, runtime: Runtime, program: OpProgram) -> None:
+        """Price the program's kernel group in one vectorized evaluation.
+
+        ``batch_duration_us`` is bit-identical to per-kernel scalar pricing,
+        so for cost-model-priced kernels the batched value replaces the
+        captured one without changing a single bit.  A mismatch means the
+        operator passed an explicit ``duration_us`` (comms-style); those
+        keep their captured duration.
+        """
+        if not program.kernels:
+            return
+        priced = runtime.cost_model.batch_duration_us(
+            [template.desc for template in program.kernels]
+        )
+        for template, duration in zip(program.kernels, priced):
+            if duration == template.duration:
+                template.duration = float(duration)
+                program.batch_priced += 1
+        self.stats["kernels_batch_priced"] += program.batch_priced
+
+    # ------------------------------------------------------------------
+    # The fast path
+    # ------------------------------------------------------------------
+    def _fast_replay(self, runtime: Runtime, program: OpProgram) -> Any:
+        """Reproduce a verified program's effect without dispatching it."""
+        thread = runtime.current_thread
+        start = runtime.now(thread)
+        # Regenerate the clock-value trace with the captured increments —
+        # the same additions in the same order the scalar dispatch would
+        # perform, so every timestamp below is bit-identical to it.
+        values = [start]
+        value = start
+        for increment in program.increments:
+            value = value + increment
+            values.append(value)
+        node_base = runtime.reserve_node_ids(program.node_count)
+        gpu = runtime.gpu
+        rank = runtime.rank
+        launches: List[KernelLaunch] = []
+        for template in program.kernels:
+            launch = KernelLaunch(
+                desc=template.desc,
+                stream_id=template.stream_id,
+                launch_ts=values[template.ts_index],
+                duration=template.duration,
+                op_node_id=node_base + template.node_offset,
+                op_name=template.op_name,
+                category=template.category,
+                device_index=rank,
+                correlation_id=runtime.take_correlation_id(),
+            )
+            gpu.add_launch(launch)
+            launches.append(launch)
+        runtime.block_until(values[-1], thread)
+
+        profiler = runtime.profiler
+        if profiler is not None and profiler.enabled:
+            for event in program.events:
+                if event[0] == "k":
+                    launch = launches[event[1]]
+                    desc = launch.desc
+                    profiler.record_kernel(
+                        TraceEvent(
+                            name=desc.name,
+                            cat="kernel",
+                            ts=launch.start,
+                            dur=launch.duration,
+                            tid="gpu",
+                            pid=rank,
+                            stream=launch.stream_id,
+                            op_node_id=launch.op_node_id,
+                            correlation=launch.correlation_id,
+                            args={
+                                "kind": desc.kind.value,
+                                "category": launch.category.value,
+                            },
+                        )
+                    )
+                else:
+                    _, name, cat, ts_index, end_index, tid, node_offset = event
+                    ts = values[ts_index]
+                    profiler.record_cpu_op(
+                        TraceEvent(
+                            name=name,
+                            cat=cat,
+                            ts=ts,
+                            dur=values[end_index] - ts,
+                            tid=tid,
+                            pid=rank,
+                            op_node_id=node_base + node_offset,
+                        )
+                    )
+        return program.outputs
+
+    # ------------------------------------------------------------------
+    # Signatures
+    # ------------------------------------------------------------------
+    def _signature(
+        self, reconstructed, stream: int, tensors: Sequence[Any]
+    ) -> Optional[Any]:
+        """Grouping key for one occurrence, or ``None`` if unfingerprintable.
+
+        The reconstructed IR text already encodes the operator name and
+        every recorded non-tensor constant, so together with the dispatch
+        stream and the input tensor fingerprints (shape, dtype, device,
+        payload content) it pins down everything the operator's simulated
+        cost can depend on.
+        """
+        fingerprints: List[Any] = []
+        for value in tensors:
+            if isinstance(value, Tensor):
+                fingerprints.append(self._tensor_fingerprint(value))
+            elif isinstance(value, list) and all(
+                isinstance(item, Tensor) for item in value
+            ):
+                fingerprints.append(
+                    ("L", tuple(self._tensor_fingerprint(item) for item in value))
+                )
+            else:
+                return None
+        return (reconstructed.ir_text, stream, tuple(fingerprints))
+
+    def _tensor_fingerprint(self, tensor: Tensor) -> tuple:
+        token = (
+            self._fingerprints.token(tensor.data) if tensor.data is not None else None
+        )
+        return (
+            "T",
+            tensor.shape,
+            tensor.dtype,
+            str(tensor.device),
+            tensor.requires_grad,
+            token,
+        )
+
+
+# ----------------------------------------------------------------------
+def _value_index(values: Sequence[float], value: float) -> int:
+    """Index of ``value`` in a clock-value trace, or -1.
+
+    Traces are non-decreasing (validated), so when equal values repeat the
+    increments between them are exactly 0.0 and any matching index replays
+    to the same float; the first match is canonical.
+    """
+    for index, candidate in enumerate(values):
+        if candidate == value:
+            return index
+    return -1
+
+
+def _span_end_index(values: Sequence[float], ts_index: int, dur: float) -> int:
+    """Index whose trace value ends a span of ``dur`` starting at ``ts_index``.
+
+    Matches the scalar path's own arithmetic (``dur = end - start`` over two
+    clock reads), so the replayed duration is recomputed from trace values
+    rather than trusted as a stored float.
+    """
+    if ts_index < 0:
+        return -1
+    start = values[ts_index]
+    for index in range(ts_index, len(values)):
+        if values[index] - start == dur:
+            return index
+    return -1
+
+
+def replay_entries_vectorized(context, runtime: Runtime) -> Tuple[int, int]:
+    """One vectorized pass over the selection (ExecuteStage's fast branch).
+
+    The executor persists on ``context.extras`` so programs learned during
+    warm-up iterations pay off across every measured iteration.
+    """
+    executor = context.extras.get(EXTRAS_KEY)
+    if executor is None:
+        executor = VectorizedExecutor()
+        context.extras[EXTRAS_KEY] = executor
+    return executor.replay_entries(context, runtime)

@@ -1,6 +1,6 @@
 """``python -m repro`` — the batch orchestration command line.
 
-Six subcommands drive the service layer:
+Seven subcommands drive the service layer:
 
 ``list-traces``
     Discover and validate the traces in a repository directory.
@@ -21,6 +21,13 @@ Six subcommands drive the service layer:
 ``sweep``
     Cross product of traces x devices x config axes (power limits,
     communication-delay scales, iterations ...), batched and cached.
+``profile``
+    Profile the replay *engine itself* per trace (host wall time per
+    operator, replay throughput in ops/sec) — the :mod:`repro.profiling`
+    hot-first summary; ``--scalar`` profiles the scalar execute path for
+    comparison against the vectorized default.  Also reachable as
+    ``replay --profile`` (which replays sequentially through the session
+    API, bypassing the worker pool and the result cache).
 ``version``
     Print the package version (also ``repro --version``), so batch logs
     are attributable to a build.
@@ -41,6 +48,7 @@ Examples
     python -m repro memory-report --repo traces/ --device V100 --budget-gb 8 --json
     python -m repro sweep --repo traces/ --device A100 --device NewPlatform \\
         --power-limit 250 --power-limit 400 --cache .repro-cache --workers 4
+    python -m repro profile --repo traces/ --trace rm_et -n 5 --top 10
     python -m repro version
 
 Every command exits 0 on success, 1 when any job failed (or, for
@@ -92,6 +100,11 @@ def build_parser() -> argparse.ArgumentParser:
     replay_parser.add_argument("--device", default="A100", help="device spec name (default: A100)")
     _add_config_arguments(replay_parser)
     _add_memory_arguments(replay_parser)
+    replay_parser.add_argument(
+        "--profile", action="store_true",
+        help="profile the replay engine per trace (replays sequentially through "
+             "the session API; incompatible with --cache/--workers)",
+    )
     replay_parser.add_argument("--json", action="store_true", help="emit JSON instead of a table")
 
     dist_parser = subparsers.add_parser(
@@ -160,6 +173,27 @@ def build_parser() -> argparse.ArgumentParser:
     _add_config_arguments(sweep_parser)
     sweep_parser.add_argument("--json", action="store_true", help="emit JSON instead of tables")
 
+    profile_parser = subparsers.add_parser(
+        "profile",
+        help="profile the replay engine's own per-op wall time and throughput",
+    )
+    _add_repo_argument(profile_parser)
+    profile_parser.add_argument(
+        "--trace", action="append", default=None, metavar="NAME",
+        help="trace name to profile (repeatable; default: every trace in the repo)",
+    )
+    profile_parser.add_argument("--device", default="A100", help="device spec name (default: A100)")
+    _add_config_arguments(profile_parser)
+    profile_parser.add_argument(
+        "--scalar", action="store_true",
+        help="profile the scalar execute path instead of the vectorized default",
+    )
+    profile_parser.add_argument(
+        "--top", type=int, default=20, metavar="N",
+        help="operator rows per hot-first table (default: 20)",
+    )
+    profile_parser.add_argument("--json", action="store_true", help="emit JSON instead of tables")
+
     version_parser = subparsers.add_parser("version", help="print the package version")
     version_parser.add_argument("--json", action="store_true", help="emit JSON")
 
@@ -219,6 +253,11 @@ def _reject_orphan_flag(args: argparse.Namespace) -> Optional[str]:
         return "--memory-budget-gb requires --memory"
     if getattr(args, "timeline", False) and not getattr(args, "json", False):
         return "--timeline only affects --json output; pass --json too"
+    if getattr(args, "profile", False):
+        if getattr(args, "cache", None) is not None:
+            return "--profile replays sequentially through the session API; drop --cache"
+        if getattr(args, "workers", None) is not None:
+            return "--profile replays sequentially through the session API; drop --workers"
     return None
 
 
@@ -246,6 +285,10 @@ def _cmd_list_traces(args: argparse.Namespace) -> int:
 
 
 def _cmd_replay(args: argparse.Namespace) -> int:
+    if args.profile:
+        # Profiling hooks attach per session, so profiled replays run
+        # sequentially through the api facade — same flow as `profile`.
+        return _cmd_profile(args)
     spec = SweepSpec(
         traces=args.trace,
         devices=[args.device],
@@ -299,6 +342,63 @@ def _cmd_memory_report(args: argparse.Namespace) -> int:
             print()
             print(format_memory_report(report))
     return 1 if any(not report.fits for report in reports.values()) else 0
+
+
+def _cmd_profile(args: argparse.Namespace) -> int:
+    try:
+        reports = _profile_traces(
+            args.repo,
+            args.trace,
+            args.device,
+            iterations=args.iterations,
+            warmup=args.warmup,
+            vectorized=not getattr(args, "scalar", False),
+        )
+    except (ValueError, KeyError, OSError) as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 1
+    if args.json:
+        print(serialize.dumps(serialize.profile_payload(reports)))
+    else:
+        top = getattr(args, "top", 20)
+        for index, report in enumerate(reports.values()):
+            if index:
+                print()
+            print(report.format_table(top=top))
+    return 0
+
+
+def _profile_traces(
+    repo: str,
+    trace_names: Optional[Sequence[str]],
+    device: str,
+    iterations: int,
+    warmup: int,
+    vectorized: bool,
+):
+    """Replay the named repository traces with a profiling hook attached."""
+    repository = TraceRepository(repo)
+    records = {record.name: record for record in repository.discover()}
+    names = list(trace_names) if trace_names else sorted(records)
+    unknown = sorted(set(names) - set(records))
+    if unknown:
+        raise ValueError(
+            f"trace(s) {unknown} not found in {repo!r} (known: {sorted(records)})"
+        )
+    config = ReplayConfig(
+        device=device,
+        iterations=iterations,
+        warmup_iterations=warmup,
+        vectorized=vectorized,
+    )
+    reports = {}
+    for name in names:
+        result = api.replay(repository.load(name)).using(config).with_profiling().run()
+        report = result.profile_report
+        if not report.trace_name:
+            report.trace_name = name
+        reports[name] = report
+    return reports
 
 
 def _cmd_version(args: argparse.Namespace) -> int:
@@ -447,6 +547,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         "replay-dist": _cmd_replay_dist,
         "memory-report": _cmd_memory_report,
         "sweep": _cmd_sweep,
+        "profile": _cmd_profile,
         "version": _cmd_version,
     }
     return handlers[args.command](args)

@@ -119,6 +119,20 @@ def memory_payload(
     }
 
 
+def profile_payload(reports: Mapping[str, Any]) -> Dict[str, Any]:
+    """``profile``: one :class:`~repro.profiling.ProfileReport` per trace.
+
+    The payload carries the profiling schema version once at the top level
+    (every report in one payload shares it) so consumers can gate parsing.
+    """
+    from repro.profiling import PROFILE_SCHEMA_VERSION
+
+    return {
+        "schema_version": PROFILE_SCHEMA_VERSION,
+        "reports": {name: report.to_dict() for name, report in reports.items()},
+    }
+
+
 def version_payload(version: str) -> Dict[str, Any]:
     """``version``: the package version."""
     return {"package": "repro", "version": version}

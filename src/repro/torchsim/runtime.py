@@ -19,7 +19,6 @@ asynchronously on streams, and ``synchronize()`` joins the two worlds.
 
 from __future__ import annotations
 
-import itertools
 from contextlib import contextmanager
 from dataclasses import dataclass, field
 from typing import Any, Dict, List, Optional, Sequence, Tuple
@@ -149,8 +148,8 @@ class Runtime:
         self.observer: Optional[ExecutionGraphObserver] = None
         self.profiler: Optional[Profiler] = None
 
-        self._node_counter = itertools.count(2)  # node 1 is the ET root
-        self._correlation_counter = itertools.count(1)
+        self._next_node_id = 2  # node 1 is the ET root
+        self._next_correlation_id = 1
         self._cpu_clock: Dict[str, float] = {MAIN_THREAD: 0.0}
         self._call_stack: Dict[str, List[_Frame]] = {MAIN_THREAD: []}
         self._stream_override: Dict[str, List[int]] = {MAIN_THREAD: []}
@@ -166,6 +165,44 @@ class Runtime:
     def attach_profiler(self, profiler: Profiler) -> Profiler:
         self.profiler = profiler
         return profiler
+
+    # ------------------------------------------------------------------
+    # ID allocation
+    #
+    # Node and correlation IDs are plain integer cursors (not opaque
+    # iterators) so the vectorized replay path can reserve a block of IDs
+    # for a pre-captured operator program and reproduce the exact IDs the
+    # scalar path would have assigned.
+    # ------------------------------------------------------------------
+    @property
+    def node_cursor(self) -> int:
+        """The next execution-trace node ID that will be assigned."""
+        return self._next_node_id
+
+    @property
+    def correlation_cursor(self) -> int:
+        """The next kernel-launch correlation ID that will be assigned."""
+        return self._next_correlation_id
+
+    def take_node_id(self) -> int:
+        node_id = self._next_node_id
+        self._next_node_id += 1
+        return node_id
+
+    def take_correlation_id(self) -> int:
+        correlation_id = self._next_correlation_id
+        self._next_correlation_id += 1
+        return correlation_id
+
+    def reserve_node_ids(self, count: int) -> int:
+        """Claim ``count`` consecutive node IDs; returns the first one."""
+        base = self._next_node_id
+        self._next_node_id += count
+        return base
+
+    def cpu_clocks(self) -> Dict[str, float]:
+        """Snapshot of every CPU thread's clock (microseconds)."""
+        return dict(self._cpu_clock)
 
     # ------------------------------------------------------------------
     # Clocks, threads and streams
@@ -261,7 +298,7 @@ class Runtime:
         stack = self._call_stack.setdefault(thread, [])
         nested = any(not frame.is_annotation for frame in stack)
 
-        node_id = next(self._node_counter)
+        node_id = self.take_node_id()
         parent_id = stack[-1].node_id if stack else 0
         dispatch = self.spec.dispatch_overhead_us * (_NESTED_DISPATCH_FACTOR if nested else 1.0)
         start_ts = self.now(thread)
@@ -321,7 +358,7 @@ class Runtime:
         """
         thread = self._current_thread
         stack = self._call_stack.setdefault(thread, [])
-        node_id = next(self._node_counter)
+        node_id = self.take_node_id()
         parent_id = stack[-1].node_id if stack else 0
         start_ts = self.now(thread)
         self.advance_cpu(_ANNOTATION_OVERHEAD_US, thread)
@@ -397,7 +434,7 @@ class Runtime:
             op_name=frame.name if frame is not None else desc.name,
             category=frame.category if frame is not None else OpCategory.ATEN,
             device_index=self.rank,
-            correlation_id=next(self._correlation_counter),
+            correlation_id=self.take_correlation_id(),
         )
         self.gpu.add_launch(launch)
         if self.profiler is not None and self.profiler.enabled:
