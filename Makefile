@@ -3,7 +3,7 @@
 PYTHON ?= python
 export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH),)
 
-.PHONY: test test-cluster test-memory test-profiling bench bench-fast lint example-sweep clean
+.PHONY: test test-cluster test-memory test-profiling test-scheduler bench bench-fast lint example-sweep clean
 
 test:
 	$(PYTHON) -m pytest -x -q
@@ -25,6 +25,12 @@ test-memory:
 test-profiling:
 	$(PYTHON) -m pytest tests/test_profiling.py tests/test_vectorized_equivalence.py -q
 	$(PYTHON) -m repro profile --help > /dev/null
+
+# Event-driven cluster scheduler: the differential-equivalence suite
+# (event vs legacy threaded engine), the hypothesis property suite, and
+# the 1024-rank fleet-throughput benchmark.
+test-scheduler:
+	$(PYTHON) -m pytest tests/test_scheduler_equivalence.py tests/test_property_scheduler.py benchmarks/test_cluster_scale.py -q
 
 bench:
 	$(PYTHON) -m pytest benchmarks/ -q

@@ -1,11 +1,15 @@
 #!/usr/bin/env python3
 """CI guard against deprecated / banned API usage inside ``src/``.
 
-Two rules, one pass:
+Three rules, one pass:
 
 * The deprecated ``Replayer`` entry point must not be used inside ``src/``
   outside its own shim module — every replay goes through
   ``repro.core.pipeline.ReplayPipeline`` (usually via ``repro.api``).
+* The legacy thread-per-rank cluster fan-out (``repro.cluster.legacy``)
+  must not be imported outside its compat shim and the engine's one
+  sanctioned dispatch — it only survives one release as the event
+  scheduler's differential-testing oracle.
 * ``time.time(`` is banned wherever the package measures *host* durations
   (``src/repro/bench/`` and ``src/repro/profiling/``): it is not monotonic
   (NTP slews and clock steps corrupt measured windows), so all wall-time
@@ -49,6 +53,23 @@ RULES = (
         message=(
             "deprecated Replayer used directly inside src/ (use repro.api or "
             "repro.core.pipeline.ReplayPipeline instead)"
+        ),
+    ),
+    Rule(
+        name="legacy-threaded-engine",
+        # The thread-per-rank fan-out survives one release as the
+        # differential-testing oracle behind ClusterReplayer(engine=
+        # "threaded"); nothing else in src/ may reach for it directly.
+        pattern=re.compile(r"\bcluster\.legacy\b|\bfrom repro\.cluster import legacy\b"),
+        roots=("src",),
+        exempt=(
+            "src/repro/cluster/legacy.py",
+            "src/repro/cluster/engine.py",
+        ),
+        message=(
+            "legacy threaded cluster fan-out imported outside the compat shim "
+            "(use ClusterReplayer's event engine, or engine='threaded' for "
+            "differential testing)"
         ),
     ),
     Rule(

@@ -49,6 +49,7 @@ class ClusterSession:
         self._support = support
         self._rank_overrides: Dict[int, Dict[str, Any]] = {}
         self._backend = "thread"
+        self._engine = "event"
         self._timeout_s = 60.0
         self._strict_match = True
         self._track_memory = False
@@ -98,6 +99,13 @@ class ClusterSession:
         """Cluster-fabric description pricing every matched collective."""
         return self.configure(interconnect=spec)
 
+    def topology(self, name: Optional[str]) -> "ClusterSession":
+        """Hierarchical-fabric preset pricing the collectives
+        (``"nvlink-island"``, ``"rail-spine"``; ``"flat"``/``None`` keep
+        the classic two-level model).  Combine with :meth:`world` to ask
+        what a fleet costs at, say, 1024 ranks on a rail/spine fabric."""
+        return self.configure(topology=None if name == "flat" else name)
+
     def comm_delay(self, scale: float = 1.0, extra_us: float = 0.0) -> "ClusterSession":
         """Scale/offset collective durations (scale-down emulation knobs)."""
         return self.configure(comm_delay_scale=scale, comm_extra_delay_us=extra_us)
@@ -131,8 +139,10 @@ class ClusterSession:
         """Profile every replica's replay engine (host wall time per op).
 
         Each rank runs with its own :class:`~repro.profiling.ProfileHook`
-        (replicas replay on concurrent worker threads, so the hooks are
-        never shared); the aggregated per-rank
+        (so per-rank attribution stays separate; under the event engine the
+        scheduler re-anchors each hook via ``on_resume`` whenever it
+        switches ranks, so interleaving does not misattribute wall time);
+        the aggregated per-rank
         :class:`~repro.profiling.ProfileReport` objects are available as
         ``report.rank_report(r).profile`` / ``report.profile_reports``.
         Timing results and cache digests are unaffected.
@@ -146,8 +156,16 @@ class ClusterSession:
     # ------------------------------------------------------------------
     def backend(self, backend: str) -> "ClusterSession":
         """Worker backend: ``"thread"`` (default) or ``"serial"`` (one
-        replica only)."""
+        replica only).  Only meaningful for ``engine("threaded")``."""
         self._backend = backend
+        return self
+
+    def engine(self, engine: str) -> "ClusterSession":
+        """Cluster execution engine: ``"event"`` (default — the
+        single-threaded discrete-event scheduler, scales to thousands of
+        ranks) or ``"threaded"`` (the legacy one-thread-per-rank fan-out,
+        kept for one release as the differential-testing oracle)."""
+        self._engine = engine
         return self
 
     def timeout(self, seconds: float) -> "ClusterSession":
@@ -177,6 +195,7 @@ class ClusterSession:
 
         replayer = ClusterReplayer(
             config=self._config,
+            engine=self._engine,
             backend=self._backend,
             timeout_s=self._timeout_s,
             strict_match=self._strict_match,

@@ -32,9 +32,10 @@ Measurement notes:
 
 from __future__ import annotations
 
+import json
 import time
 from pathlib import Path
-from typing import Any, Dict, Optional, Sequence, Tuple
+from typing import Any, Dict, List, Optional, Sequence, Tuple
 
 from repro.core.pipeline import (
     ExecuteStage,
@@ -51,6 +52,9 @@ BENCH_SCHEMA_VERSION = 1
 
 #: Trajectory file name, written at the repository root.
 BENCH_FILENAME = "BENCH_replay_throughput.json"
+
+#: BENCH-file section recording the event scheduler's fleet throughput.
+CLUSTER_SCALE_SECTION = "cluster_scale"
 
 #: Benchmarked workloads, in report order.
 BENCH_WORKLOADS = ("param_linear", "rm", "ddp_rm")
@@ -306,10 +310,22 @@ def run_benchmark(
 
 
 def write_report(report: Dict[str, Any], path: Optional[Path] = None) -> Path:
-    """Write the BENCH payload to its trajectory location (repo root)."""
+    """Write the BENCH payload to its trajectory location (repo root).
+
+    The ``cluster_scale`` section is written by a different benchmark
+    (``benchmarks/test_cluster_scale.py``) than the main throughput run, so
+    whichever writes second must not clobber the other's section.
+    """
     from repro.service import serialize
 
     target = Path(path) if path is not None else _repo_root() / BENCH_FILENAME
+    if CLUSTER_SCALE_SECTION not in report and target.exists():
+        try:
+            previous = json.loads(target.read_text())
+        except ValueError:
+            previous = {}
+        if CLUSTER_SCALE_SECTION in previous:
+            report = {**report, CLUSTER_SCALE_SECTION: previous[CLUSTER_SCALE_SECTION]}
     target.write_text(serialize.dumps(report) + "\n")
     return target
 
@@ -341,3 +357,110 @@ def format_report(report: Dict[str, Any]) -> str:
             f"{profiler['profiled_ops_per_sec']:,.0f} ops/s, scalar loop)"
         )
     return text
+
+
+# ----------------------------------------------------------------------
+# Event-scheduler fleet throughput (the cluster_scale BENCH section)
+# ----------------------------------------------------------------------
+def synthesize_fleet(world_size: int, device: str = "A100") -> List[ExecutionTrace]:
+    """A what-if fleet at ``world_size`` ranks from ONE captured rank.
+
+    Capturing 1024 real ranks would dwarf the measurement, so the scale
+    benchmark captures a single DDP-RM rank-0 trace whose collectives are
+    recorded over the full world, then clones it across every rank: node
+    lists are shared (replay never mutates them) and only the per-trace
+    ``metadata["rank"]`` differs.  Every clone issues the same collective
+    sequence, which is exactly what keeps the rendezvous fully matched.
+    """
+    from repro.workloads.ddp import DistributedRunner
+    from repro.workloads.rm import RMConfig, RMWorkload
+
+    # Deliberately tiny: the benchmark measures the *scheduler* across
+    # many ranks, not the per-op pricing (BENCH_WORKLOADS covers that).
+    config = RMConfig(
+        batch_size=16,
+        num_tables=4,
+        rows_per_table=512,
+        embedding_dim=16,
+        pooling_factor=2,
+        bottom_mlp=(32, 16),
+        top_mlp=(32, 16),
+    )
+    runner = DistributedRunner(
+        lambda rank, world: RMWorkload(config, rank=rank, world_size=world),
+        world_size=world_size,
+        device=device,
+    )
+    template = runner.run_rank(0).execution_trace
+    return [
+        ExecutionTrace(nodes=template.nodes, metadata={**template.metadata, "rank": rank})
+        for rank in range(world_size)
+    ]
+
+
+def run_cluster_scale_benchmark(
+    world_size: int = 1024,
+    device: str = "A100",
+    topology: Optional[str] = None,
+    engine: str = "event",
+) -> Dict[str, Any]:
+    """Replay a synthetic ``world_size``-rank DDP-RM fleet and measure the
+    scheduler's fleet throughput in rank-ops/s (total replayed operators
+    across every rank, per wall-clock second)."""
+    from repro.cluster.engine import ClusterReplayer
+
+    fleet = synthesize_fleet(world_size, device=device)
+    replay_config = ReplayConfig(
+        device=device,
+        iterations=1,
+        warmup_iterations=0,
+        world_size=world_size,
+        topology=topology,
+    )
+    replayer = ClusterReplayer(replay_config, engine=engine)
+    start = time.perf_counter()
+    report = replayer.replay(fleet)
+    wall_s = time.perf_counter() - start
+    total_ops = sum(rank.summary.replayed_ops for rank in report.ranks)
+    return {
+        "world_size": world_size,
+        "engine": engine,
+        "topology": topology if topology is not None else "flat",
+        "replicas": report.num_replicas,
+        "total_replayed_ops": total_ops,
+        "wall_s": wall_s,
+        "rank_ops_per_sec": total_ops / wall_s if wall_s > 0 else 0.0,
+        "matched_collectives": report.matched_collectives,
+        "critical_path_us": report.critical_path_us,
+    }
+
+
+def format_cluster_scale(section: Dict[str, Any]) -> str:
+    """Human-readable one-liner for the cluster_scale BENCH section."""
+    return (
+        f"cluster scale: {section['replicas']} ranks ({section['engine']} engine, "
+        f"{section['topology']} topology) replayed "
+        f"{section['total_replayed_ops']:,} ops in {section['wall_s']:.1f}s "
+        f"= {section['rank_ops_per_sec']:,.0f} rank-ops/s; "
+        f"critical path {section['critical_path_us']:,.0f}us, "
+        f"{section['matched_collectives']} matched collectives"
+    )
+
+
+def merge_cluster_scale(
+    section: Dict[str, Any], path: Optional[Path] = None
+) -> Path:
+    """Record the cluster_scale section into the BENCH trajectory file,
+    preserving whatever the main throughput benchmark already wrote."""
+    target = Path(path) if path is not None else _repo_root() / BENCH_FILENAME
+    report: Dict[str, Any] = {
+        "schema_version": BENCH_SCHEMA_VERSION,
+        "generated_by": "repro.bench.throughput",
+    }
+    if target.exists():
+        try:
+            report = json.loads(target.read_text())
+        except ValueError:
+            pass
+    report[CLUSTER_SCALE_SECTION] = section
+    return write_report(report, path=target)

@@ -5,16 +5,22 @@ replays a *fleet* of per-rank traces together under a virtual-time
 collective scheduler, making straggler skew and communication/compute
 overlap first-class measurements:
 
-* :class:`~repro.cluster.rendezvous.CollectiveRendezvous` matches each
-  collective across ranks by (process-group ranks, sequence id, operator
-  name), prices it once, and releases all participants at the same virtual
-  completion time;
+* :class:`~repro.cluster.rendezvous.EventRendezvous` (and its legacy
+  threaded sibling :class:`~repro.cluster.rendezvous.CollectiveRendezvous`)
+  matches each collective across ranks by (process-group ranks, sequence
+  id, operator name), prices it once, and releases all participants at the
+  same virtual completion time;
 * :class:`~repro.cluster.replica.RankReplica` runs one rank's stage
   pipeline with the rendezvous-aware
   :class:`~repro.cluster.replica.SyncCollectivesStage`;
+* :class:`~repro.cluster.scheduler.VirtualTimeScheduler` advances every
+  rank's op cursor on a single thread, parking cursors on unresolved
+  collectives and waking them when the rendezvous resolves — this is what
+  lets one process co-replay thousands of ranks;
 * :class:`~repro.cluster.engine.ClusterReplayer` pre-flight-matches the
-  fleet, fans the replicas over the service layer's worker pool, and
-  aggregates the :class:`~repro.cluster.engine.ClusterReport` (per-rank
+  fleet, drives the scheduler (or the legacy thread-per-rank fan-out via
+  ``engine="threaded"``), and aggregates the
+  :class:`~repro.cluster.engine.ClusterReport` (per-rank
   exposed-communication time, rendezvous stall, slowest-rank critical
   path).
 
@@ -36,8 +42,12 @@ from repro.cluster.rendezvous import (
     CollectiveEvent,
     CollectiveRendezvous,
     CollectiveSyncError,
+    EventRendezvous,
+    RankBlocked,
+    RendezvousCore,
     RendezvousStats,
 )
+from repro.cluster.scheduler import RankCursor, VirtualTimeScheduler
 
 __all__ = [
     "ClusterMatchError",
@@ -48,9 +58,14 @@ __all__ = [
     "CollectiveMatchReport",
     "CollectiveRendezvous",
     "CollectiveSyncError",
+    "EventRendezvous",
+    "RankBlocked",
+    "RankCursor",
     "RankReplica",
     "RankReport",
+    "RendezvousCore",
     "RendezvousStats",
     "SyncCollectivesStage",
+    "VirtualTimeScheduler",
     "match_collectives",
 ]

@@ -7,13 +7,18 @@ virtual-time collective scheduler:
 
 1. **Pre-flight match** (:func:`match_collectives`): every collective is
    matched across ranks by (process-group ranks, sequence number, operator
-   name) *before* any thread starts, so a malformed fleet fails with a
+   name) *before* anything replays, so a malformed fleet fails with a
    precise report instead of a mid-replay stall.
-2. **Fan-out**: one :class:`~repro.cluster.replica.RankReplica` per trace,
-   each running the standard stage pipeline (with the rendezvous-aware
-   ``sync-collectives`` stage) on its own worker from the service layer's
-   executor pool — one thread per rank, because replicas block on each
-   other inside the rendezvous.
+2. **Event loop**: one :class:`~repro.cluster.replica.RankReplica` per
+   trace, each running the standard stage pipeline (with the
+   rendezvous-aware ``sync-collectives`` stage) as an op *cursor* advanced
+   by the single-threaded
+   :class:`~repro.cluster.scheduler.VirtualTimeScheduler` — a cursor parks
+   when its next collective cannot resolve yet and is woken when the
+   :class:`~repro.cluster.rendezvous.EventRendezvous` resolves the slot,
+   so fleets of thousands of ranks need no thread per rank.  The legacy
+   thread-per-rank fan-out (``engine="threaded"``) remains for one release
+   as the differential-testing oracle.
 3. **Aggregate**: per-rank results and the rendezvous's event log fold into
    a :class:`ClusterReport` — per-rank timelines, exposed-communication
    time, rendezvous stall, and the slowest-rank critical path.
@@ -37,6 +42,8 @@ from repro.core.replayer import ReplayConfig, ReplayResult, ReplayResultSummary
 from repro.cluster.rendezvous import (
     CollectiveKey,
     CollectiveRendezvous,
+    EventRendezvous,
+    RendezvousCore,
     normalize_op,
 )
 from repro.cluster.replica import RankReplica
@@ -317,16 +324,26 @@ class ClusterReplayer:
     config:
         Base :class:`ReplayConfig` every replica runs under; each replica
         gets its ``rank`` pinned to its trace's recorded rank.  The
-        interconnect / comm-delay fields also parameterise the shared
-        collective cost model.
+        interconnect / comm-delay / topology fields also parameterise the
+        shared collective cost model.
+    engine:
+        ``"event"`` (default) co-replays the fleet on one thread under the
+        discrete-event :class:`~repro.cluster.scheduler.VirtualTimeScheduler`.
+        ``"threaded"`` is the legacy thread-per-rank fan-out, kept for one
+        release as the differential-testing oracle (byte-identical reports;
+        see ``tests/test_scheduler_equivalence.py``).
     backend:
-        ``"thread"`` (default) fans replicas over the service layer's
-        thread pool, one worker per rank.  ``"serial"`` is accepted for a
-        single-replica fleet only — replicas block on each other inside
-        the rendezvous, so serial multi-rank execution would deadlock.
+        ``"thread"`` (default) or ``"serial"``.  Only meaningful for the
+        threaded engine, where ``"serial"`` is accepted for a
+        single-replica fleet only — threaded replicas block on each other
+        inside the rendezvous, so serial multi-rank execution would
+        deadlock.  The event engine is single-threaded by construction and
+        accepts either value (the multi-rank ``"serial"`` rejection is kept
+        for contract compatibility).
     timeout_s:
-        Real-time rendezvous guard (see
-        :class:`~repro.cluster.rendezvous.CollectiveRendezvous`).
+        Real-time rendezvous guard for the threaded engine (see
+        :class:`~repro.cluster.rendezvous.CollectiveRendezvous`); the event
+        engine needs none — it detects an unresolvable fleet structurally.
     strict_match:
         Raise :class:`ClusterMatchError` when the pre-flight match finds
         unmatched collectives (default); pass ``False`` to attempt the
@@ -344,17 +361,28 @@ class ClusterReplayer:
         track_memory: bool = False,
         memory_budget: Optional[Any] = None,
         profile_hook_factory: Optional[Callable[[int], Any]] = None,
+        engine: str = "event",
     ) -> None:
         if backend not in ("thread", "serial"):
             raise ValueError(
                 f"unsupported cluster backend {backend!r}: replicas synchronise through "
                 "shared memory, so only 'thread' (and 'serial' for one replica) work"
             )
+        if engine not in ("event", "threaded"):
+            raise ValueError(
+                f"unsupported cluster engine {engine!r}: choose 'event' (the "
+                "discrete-event scheduler) or 'threaded' (the legacy oracle)"
+            )
         self.config = config if config is not None else ReplayConfig()
         self.backend = backend
+        self.engine = engine
         self.timeout_s = timeout_s
         self.strict_match = strict_match
         self.support = support
+        #: Optional scheduler pick function (event engine only): chooses
+        #: which runnable cursor advances next.  Reports are pick-order
+        #: independent; the property suite injects randomised picks here.
+        self.scheduler_pick: Optional[Callable[[List[int], int], int]] = None
         #: Per-rank memory footprints (``repro.memory``): simulate each
         #: replica's device memory and aggregate the per-rank reports plus
         #: the max-rank summary onto the :class:`ClusterReport`.
@@ -426,11 +454,18 @@ class ClusterReplayer:
                 + "\n  ".join(match.unmatched)
             )
 
-        rendezvous = CollectiveRendezvous(
-            cost_model=self._cost_model(),
-            participants=ranks,
-            timeout_s=self.timeout_s,
-        )
+        rendezvous: RendezvousCore
+        if self.engine == "threaded":
+            rendezvous = CollectiveRendezvous(
+                cost_model=self._cost_model(),
+                participants=ranks,
+                timeout_s=self.timeout_s,
+            )
+        else:
+            rendezvous = EventRendezvous(
+                cost_model=self._cost_model(),
+                participants=ranks,
+            )
         profile_hooks: Dict[int, Any] = {}
         replicas = []
         for trace, profiler in zip(fleet, profilers):
@@ -499,44 +534,33 @@ class ClusterReplayer:
         """The shared pricing model — built exactly the way each replica's
         own runtime builds it, so a one-replica cluster replay prices every
         collective identically to the single-rank pipeline."""
-        return CollectiveCostModel(
-            spec=self.config.interconnect or InterconnectSpec(),
-            delay_scale=self.config.comm_delay_scale,
-            extra_delay_us=self.config.comm_extra_delay_us,
-        )
+        from repro.core.pipeline import make_collective_cost_model
+
+        return make_collective_cost_model(self.config)
 
     # ------------------------------------------------------------------
     def _execute(self, replicas: List[RankReplica]) -> List[ReplayResult]:
-        from repro.service.batch import make_worker_pool
+        if self.backend == "serial" and len(replicas) > 1:
+            raise ValueError(
+                "backend='serial' cannot co-replay multiple ranks (replicas block "
+                "on each other inside the rendezvous); use backend='thread'"
+            )
+        if self.engine == "threaded":
+            # The one sanctioned import of the compat shim; everywhere else
+            # scripts/check_deprecated_usage.py bans it.
+            from repro.cluster.legacy import execute_threaded
 
-        if self.backend == "serial" or len(replicas) == 1:
-            if self.backend == "serial" and len(replicas) > 1:
-                raise ValueError(
-                    "backend='serial' cannot co-replay multiple ranks (replicas block "
-                    "on each other inside the rendezvous); use backend='thread'"
-                )
-            try:
-                return [replica.run() for replica in replicas]
-            except Exception as error:  # noqa: BLE001 - same contract as the pool path
-                failed = next((r for r in replicas if r.error is not None), replicas[0])
-                raise ClusterReplayError(
-                    {failed.rank: failed.error or f"{type(error).__name__}: {error}"}
-                ) from error
+            return execute_threaded(replicas, self.backend)
 
-        errors: Dict[int, str] = {}
-        results: List[Optional[ReplayResult]] = [None] * len(replicas)
-        # One worker per replica: a replica waiting inside the rendezvous
-        # occupies its worker, so fewer workers than ranks would deadlock.
-        with make_worker_pool("thread", max_workers=len(replicas)) as pool:
-            futures = {index: pool.submit(replica.run) for index, replica in enumerate(replicas)}
-            for index, future in futures.items():
-                try:
-                    results[index] = future.result()
-                except Exception as error:  # noqa: BLE001 - aggregated below
-                    errors[replicas[index].rank] = f"{type(error).__name__}: {error}"
+        from repro.cluster.scheduler import VirtualTimeScheduler
+
+        scheduler = VirtualTimeScheduler(
+            replicas, replicas[0].rendezvous, pick=self.scheduler_pick
+        )
+        errors = scheduler.run()
         if errors:
             raise ClusterReplayError(errors)
-        return [result for result in results if result is not None]
+        return [replica.result for replica in replicas]
 
     # ------------------------------------------------------------------
     def _aggregate(
@@ -544,7 +568,7 @@ class ClusterReplayer:
         fleet: List[ExecutionTrace],
         replicas: List[RankReplica],
         results: List[ReplayResult],
-        rendezvous: CollectiveRendezvous,
+        rendezvous: RendezvousCore,
         match: CollectiveMatchReport,
         profile_hooks: Optional[Dict[int, Any]] = None,
     ) -> ClusterReport:

@@ -1,0 +1,60 @@
+"""Compat shim: the legacy thread-per-rank cluster fan-out.
+
+The event-driven scheduler (:mod:`repro.cluster.scheduler`) is the cluster
+engine; this module keeps the previous execution strategy — one worker
+thread per rank, replicas blocking on each other inside the barrier
+:class:`~repro.cluster.rendezvous.CollectiveRendezvous` — available behind
+``ClusterReplayer(engine="threaded")`` for one release, as the
+differential-testing oracle (``tests/test_scheduler_equivalence.py`` pins
+both engines to byte-identical reports).
+
+Do not import this module from new code: ``scripts/check_deprecated_usage.py``
+bans ``repro.cluster.legacy`` imports everywhere in ``src/`` except the
+engine's dispatch point.  It will be removed together with the
+``engine="threaded"`` flag.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from repro.cluster.replica import RankReplica
+from repro.core.replayer import ReplayResult
+
+
+def execute_threaded(replicas: List[RankReplica], backend: str) -> List[ReplayResult]:
+    """Run the fleet the pre-event-engine way (see module docstring).
+
+    ``backend`` is the ClusterReplayer's backend: ``"serial"`` (or a
+    single-replica fleet) runs inline on the calling thread; ``"thread"``
+    fans one pool worker per replica.  Raises
+    :class:`~repro.cluster.engine.ClusterReplayError` with the per-rank
+    error map when any replica fails — the same contract as the event
+    scheduler.
+    """
+    from repro.cluster.engine import ClusterReplayError
+    from repro.service.batch import make_worker_pool
+
+    if backend == "serial" or len(replicas) == 1:
+        try:
+            return [replica.run() for replica in replicas]
+        except Exception as error:  # noqa: BLE001 - same contract as the pool path
+            failed = next((r for r in replicas if r.error is not None), replicas[0])
+            raise ClusterReplayError(
+                {failed.rank: failed.error or f"{type(error).__name__}: {error}"}
+            ) from error
+
+    errors: Dict[int, str] = {}
+    results: List[Optional[ReplayResult]] = [None] * len(replicas)
+    # One worker per replica: a replica waiting inside the rendezvous
+    # occupies its worker, so fewer workers than ranks would deadlock.
+    with make_worker_pool("thread", max_workers=len(replicas)) as pool:
+        futures = {index: pool.submit(replica.run) for index, replica in enumerate(replicas)}
+        for index, future in futures.items():
+            try:
+                results[index] = future.result()
+            except Exception as error:  # noqa: BLE001 - aggregated below
+                errors[replicas[index].rank] = f"{type(error).__name__}: {error}"
+    if errors:
+        raise ClusterReplayError(errors)
+    return [result for result in results if result is not None]

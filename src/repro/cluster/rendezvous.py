@@ -2,12 +2,12 @@
 
 The paper's distributed replay (Section 4.3.2) captures one execution trace
 per rank, from the same iteration, precisely so that the communication
-operators can be *matched* across ranks during replay.  The
-:class:`CollectiveRendezvous` is where that matching happens at replay
-time: every rank replica announces each collective it reaches — identified
-by (process-group ranks, per-group sequence number, operator name) — along
-with the virtual time at which its GPU could start the kernel.  Once every
-participating replica has arrived, the rendezvous
+operators can be *matched* across ranks during replay.  A rendezvous is
+where that matching happens at replay time: every rank replica announces
+each collective it reaches — identified by (process-group ranks, per-group
+sequence number, operator name) — along with the virtual time at which its
+GPU could start the kernel.  Once every participating replica has arrived,
+the rendezvous
 
 * prices the collective **once** with the shared
   :class:`~repro.hardware.network.CollectiveCostModel` (all ranks see the
@@ -23,11 +23,24 @@ the earliest and latest arrival is the collective's *skew* — both are
 recorded per event and aggregated into the
 :class:`~repro.cluster.engine.ClusterReport`.
 
-Replicas run on one thread each (see
-:class:`~repro.cluster.engine.ClusterReplayer`); the rendezvous is the only
-synchronisation point between them, and because a collective resolves only
-after **all** participants arrive, the resolved schedule is deterministic
-regardless of thread interleaving.
+Two rendezvous implementations share that matching/pricing core:
+
+* :class:`CollectiveRendezvous` — the legacy *barrier*: each replica runs
+  on its own thread and blocks inside :meth:`~CollectiveRendezvous.sync`
+  until every participant arrives (kept as the differential-testing oracle
+  behind ``ClusterReplayer(engine="threaded")``).
+* :class:`EventRendezvous` — the *event source* driving the single-threaded
+  :class:`~repro.cluster.scheduler.VirtualTimeScheduler`: instead of
+  blocking, an unresolved ``sync`` raises :class:`RankBlocked` so the
+  scheduler can park the rank's op cursor and advance another rank; slots
+  that resolve (or fail) are queued for :meth:`~EventRendezvous.take_ready`
+  so the scheduler knows exactly which cursors to wake.
+
+Because a collective resolves only after **all** participants arrive, the
+resolved schedule is deterministic regardless of thread interleaving or
+cursor scheduling order; :meth:`~RendezvousCore.stats` additionally sorts
+the event log canonically before accumulating, so the aggregated floats
+are byte-identical across engines and schedules too.
 """
 
 from __future__ import annotations
@@ -43,10 +56,31 @@ from repro.hardware.network import CollectiveCostModel
 #: across ranks the way NCCL matches them: by issue order within a group.
 CollectiveKey = Tuple[Tuple[int, ...], str]
 
+#: One matching slot: a collective key plus its per-group sequence number.
+CollectiveSlot = Tuple[CollectiveKey, int]
+
 
 class CollectiveSyncError(RuntimeError):
     """A collective could not be matched across the participating replicas
     (a rank finished or failed without issuing it, or the wait timed out)."""
+
+
+class RankBlocked(Exception):
+    """Control-flow signal of the event engine: the announcing rank cannot
+    proceed until the collective slot resolves.
+
+    Raised by :meth:`EventRendezvous.sync` *instead of blocking*; caught by
+    the rank's op cursor (:mod:`repro.cluster.scheduler`), which rolls the
+    runtime back to the op boundary, parks on :attr:`slot`, and retries the
+    op once the scheduler reports the slot resolved.  Never escapes the
+    scheduler — seeing one outside it means a blocking code path called an
+    event rendezvous.
+    """
+
+    def __init__(self, slot: CollectiveSlot) -> None:
+        key, seq = slot
+        super().__init__(f"rank blocked on collective {key[1]}[{seq}] over ranks {list(key[0])}")
+        self.slot = slot
 
 
 def normalize_op(op_name: str) -> str:
@@ -98,8 +132,8 @@ class _Pending:
     consumers: set = field(default_factory=set)
 
 
-class CollectiveRendezvous:
-    """Matches, prices and releases collectives across rank replicas.
+class RendezvousCore:
+    """Matching, pricing and aggregation shared by both rendezvous kinds.
 
     Parameters
     ----------
@@ -111,6 +145,134 @@ class CollectiveRendezvous:
         ``G`` waits for ``G ∩ participants`` — replaying a subset of a
         fleet (symmetric data-parallel ranks) therefore still synchronises
         correctly among the replicas that exist.
+    """
+
+    def __init__(
+        self,
+        cost_model: CollectiveCostModel,
+        participants: Sequence[int],
+    ) -> None:
+        self.cost_model = cost_model
+        self.participants = frozenset(int(r) for r in participants)
+        self._seq: Dict[Tuple[int, CollectiveKey], int] = {}
+        self._pending: Dict[CollectiveSlot, _Pending] = {}
+        self._retired: set = set()
+        self.events: List[CollectiveEvent] = []
+
+    # ------------------------------------------------------------------
+    def sync(
+        self,
+        rank: int,
+        op: str,
+        group_ranks: Sequence[int],
+        bytes_per_rank: float,
+        arrival_us: float,
+    ) -> Tuple[float, Optional[float]]:
+        """Announce a collective; subclasses define the waiting discipline."""
+        raise NotImplementedError
+
+    def retire(self, rank: int) -> None:
+        """A replica finished (or failed): any collective still waiting on
+        it can never resolve — fail those waiters instead of hanging."""
+        raise NotImplementedError
+
+    # ------------------------------------------------------------------
+    def _events_snapshot(self) -> List[CollectiveEvent]:
+        return list(self.events)
+
+    def stats(
+        self, measure_start_by_rank: Optional[Dict[int, float]] = None
+    ) -> "RendezvousStats":
+        """Aggregate view of the resolved collectives.
+
+        With ``measure_start_by_rank`` given, only collectives inside the
+        measured region count — an event is measured when every
+        participant arrived at or after its own measurement window start —
+        so warm-up iterations do not inflate stall, skew or the matched
+        count (every other reported metric is windowed the same way).
+
+        Events are accumulated in a *canonical* order (sorted by key,
+        sequence and arrivals) rather than resolution order: float addition
+        is not associative, and the append order of the event log depends
+        on thread timing (barrier engine) or cursor schedule (event
+        engine).  Sorting first makes the aggregated stall/skew sums
+        byte-identical across engines and schedules.
+        """
+        events = self._events_snapshot()
+        if measure_start_by_rank is not None:
+            events = [
+                event
+                for event in events
+                if all(
+                    arrival >= measure_start_by_rank.get(rank, 0.0)
+                    for rank, arrival in event.arrivals.items()
+                )
+            ]
+        events.sort(key=_event_sort_key)
+        stall: Dict[int, float] = {rank: 0.0 for rank in self.participants}
+        skews = []
+        for event in events:
+            skews.append(event.skew_us)
+            for rank in event.arrivals:
+                stall[rank] = stall.get(rank, 0.0) + event.stall_us(rank)
+        return RendezvousStats(
+            matched=len(events),
+            max_skew_us=max(skews, default=0.0),
+            mean_skew_us=(sum(skews) / len(skews)) if skews else 0.0,
+            stall_us_by_rank=stall,
+        )
+
+    # ------------------------------------------------------------------
+    def _price(self, key: CollectiveKey, bytes_per_rank: float) -> Optional[float]:
+        group_size = len(key[0])
+        if group_size <= 1:
+            # Degenerate singleton "collective": free of alpha-beta cost.
+            return None
+        return self.cost_model.collective_us(key[1], bytes_per_rank, group_size)
+
+    def _record(
+        self,
+        key: CollectiveKey,
+        seq: int,
+        start: float,
+        duration: Optional[float],
+        arrivals: Dict[int, float],
+        bytes_per_rank: float,
+    ) -> None:
+        self.events.append(
+            CollectiveEvent(
+                key=key,
+                seq=seq,
+                start_us=start,
+                duration_us=duration if duration is not None else 0.0,
+                arrivals=arrivals,
+                bytes_per_rank=bytes_per_rank,
+            )
+        )
+
+    @staticmethod
+    def _mismatch_message(key: CollectiveKey, seq: int, pending: _Pending) -> str:
+        missing = sorted(pending.expected - set(pending.arrivals))
+        return (
+            f"collective {key[1]}[{seq}] over ranks {list(key[0])} can never complete: "
+            f"participant(s) {missing} finished their trace without issuing it "
+            f"(arrived: {sorted(pending.arrivals)})"
+        )
+
+
+def _event_sort_key(event: CollectiveEvent):
+    return (event.key[0], event.key[1], event.seq, sorted(event.arrivals.items()))
+
+
+class CollectiveRendezvous(RendezvousCore):
+    """The legacy thread-barrier rendezvous (one worker thread per rank).
+
+    Kept for one release as the differential-testing oracle behind
+    ``ClusterReplayer(engine="threaded")``; the event engine's
+    :class:`EventRendezvous` is the default.
+
+    Parameters beyond :class:`RendezvousCore`:
+
     timeout_s:
         Real-time cap on one rendezvous wait.  The pre-flight match check
         (:func:`repro.cluster.engine.match_collectives`) makes a genuine
@@ -124,14 +286,9 @@ class CollectiveRendezvous:
         participants: Sequence[int],
         timeout_s: float = 60.0,
     ) -> None:
-        self.cost_model = cost_model
-        self.participants = frozenset(int(r) for r in participants)
+        super().__init__(cost_model, participants)
         self.timeout_s = timeout_s
         self._cond = threading.Condition()
-        self._seq: Dict[Tuple[int, CollectiveKey], int] = {}
-        self._pending: Dict[Tuple[CollectiveKey, int], _Pending] = {}
-        self._retired: set = set()
-        self.events: List[CollectiveEvent] = []
 
     # ------------------------------------------------------------------
     def sync(
@@ -201,8 +358,6 @@ class CollectiveRendezvous:
 
     # ------------------------------------------------------------------
     def retire(self, rank: int) -> None:
-        """A replica finished (or failed): any collective still waiting on
-        it can never resolve — fail those waiters instead of hanging."""
         with self._cond:
             self._retired.add(int(rank))
             for (key, seq), pending in self._pending.items():
@@ -216,77 +371,139 @@ class CollectiveRendezvous:
             self._cond.notify_all()
 
     # ------------------------------------------------------------------
-    def stats(
-        self, measure_start_by_rank: Optional[Dict[int, float]] = None
-    ) -> "RendezvousStats":
-        """Aggregate view of the resolved collectives (thread-safe).
-
-        With ``measure_start_by_rank`` given, only collectives inside the
-        measured region count — an event is measured when every
-        participant arrived at or after its own measurement window start —
-        so warm-up iterations do not inflate stall, skew or the matched
-        count (every other reported metric is windowed the same way).
-        """
+    def _events_snapshot(self) -> List[CollectiveEvent]:
         with self._cond:
-            events = list(self.events)
-        if measure_start_by_rank is not None:
-            events = [
-                event
-                for event in events
-                if all(
-                    arrival >= measure_start_by_rank.get(rank, 0.0)
-                    for rank, arrival in event.arrivals.items()
-                )
-            ]
-        stall: Dict[int, float] = {rank: 0.0 for rank in self.participants}
-        skews = []
-        for event in events:
-            skews.append(event.skew_us)
-            for rank in event.arrivals:
-                stall[rank] = stall.get(rank, 0.0) + event.stall_us(rank)
-        return RendezvousStats(
-            matched=len(events),
-            max_skew_us=max(skews, default=0.0),
-            mean_skew_us=(sum(skews) / len(skews)) if skews else 0.0,
-            stall_us_by_rank=stall,
-        )
+            return list(self.events)
+
+
+class EventRendezvous(RendezvousCore):
+    """Non-blocking rendezvous: the event source of the virtual-time
+    scheduler (:class:`~repro.cluster.scheduler.VirtualTimeScheduler`).
+
+    :meth:`sync` never blocks.  When a slot cannot resolve yet it raises
+    :class:`RankBlocked`; the scheduler parks the rank's cursor on the slot
+    and advances another rank.  Slots that resolve or fail are queued and
+    handed to the scheduler through :meth:`take_ready`, which wakes exactly
+    the parked cursors — woken cursors *retry* the same ``sync`` call, and
+    the retry is recognised (same in-flight slot per rank) so the per-group
+    sequence number is not consumed twice.
+
+    Matching, pricing and the recorded event schedule are identical to the
+    barrier rendezvous; only the waiting discipline differs.
+    """
+
+    def __init__(
+        self,
+        cost_model: CollectiveCostModel,
+        participants: Sequence[int],
+    ) -> None:
+        super().__init__(cost_model, participants)
+        #: rank -> the slot its parked (to-be-retried) sync announced.
+        self._inflight: Dict[int, CollectiveSlot] = {}
+        #: Slots resolved/failed since the scheduler last drained.
+        self._ready: List[CollectiveSlot] = []
 
     # ------------------------------------------------------------------
-    def _price(self, key: CollectiveKey, bytes_per_rank: float) -> Optional[float]:
-        group_size = len(key[0])
-        if group_size <= 1:
-            # Degenerate singleton "collective": free of alpha-beta cost.
-            return None
-        return self.cost_model.collective_us(key[1], bytes_per_rank, group_size)
-
-    def _record(
+    def sync(
         self,
-        key: CollectiveKey,
-        seq: int,
-        start: float,
-        duration: Optional[float],
-        arrivals: Dict[int, float],
+        rank: int,
+        op: str,
+        group_ranks: Sequence[int],
         bytes_per_rank: float,
-    ) -> None:
-        self.events.append(
-            CollectiveEvent(
-                key=key,
-                seq=seq,
-                start_us=start,
-                duration_us=duration if duration is not None else 0.0,
-                arrivals=arrivals,
-                bytes_per_rank=bytes_per_rank,
+        arrival_us: float,
+    ) -> Tuple[float, Optional[float]]:
+        """Announce a collective; return ``(start_us, duration_us)`` when
+        the slot is resolved, raise :class:`RankBlocked` when it is not."""
+        key: CollectiveKey = (tuple(sorted(int(r) for r in group_ranks)), normalize_op(op))
+        slot = self._inflight.get(rank)
+        if slot is None:
+            # First announcement of this invocation: consume a sequence
+            # number and register the arrival.  A retry after RankBlocked
+            # skips this block — the op replays from the same cursor
+            # position, so key and arrival are unchanged.
+            expected = frozenset(key[0]) & self.participants
+            seq = self._seq.get((rank, key), 0)
+            self._seq[(rank, key)] = seq + 1
+            if len(expected) <= 1:
+                duration = self._price(key, bytes_per_rank)
+                self._record(key, seq, arrival_us, duration, {rank: arrival_us}, bytes_per_rank)
+                return arrival_us, duration
+            slot = (key, seq)
+            pending = self._pending.get(slot)
+            if pending is None:
+                pending = _Pending(expected=expected, consumers=set(expected))
+                self._pending[slot] = pending
+            pending.arrivals[rank] = arrival_us
+            pending.bytes_per_rank = max(pending.bytes_per_rank, bytes_per_rank)
+            self._inflight[rank] = slot
+            if set(pending.arrivals) >= pending.expected:
+                start = max(pending.arrivals.values())
+                duration = self._price(key, pending.bytes_per_rank)
+                pending.resolved = (start, duration)
+                self._record(key, seq, start, duration, dict(pending.arrivals), pending.bytes_per_rank)
+                self._ready.append(slot)
+            else:
+                missing = pending.expected - set(pending.arrivals) - self._retired
+                if not missing:
+                    pending.failed = self._mismatch_message(key, seq, pending)
+                    self._ready.append(slot)
+        else:
+            if slot[0] != key:
+                raise CollectiveSyncError(
+                    f"rank {rank} retried collective {key[1]} over ranks {list(key[0])} "
+                    f"while parked on {slot[0][1]}[{slot[1]}] over ranks {list(slot[0][0])} "
+                    "— the replay diverged across retries"
+                )
+        pending = self._pending.get(slot)
+        if pending is None:
+            raise CollectiveSyncError(
+                f"internal error: slot {slot[0][1]}[{slot[1]}] consumed before rank {rank} read it"
             )
-        )
+        if pending.failed is not None:
+            self._inflight.pop(rank, None)
+            raise CollectiveSyncError(pending.failed)
+        if pending.resolved is None:
+            raise RankBlocked(slot)
+        resolved = pending.resolved
+        self._inflight.pop(rank, None)
+        pending.consumers.discard(rank)
+        if not pending.consumers:
+            del self._pending[slot]
+        return resolved
 
-    @staticmethod
-    def _mismatch_message(key: CollectiveKey, seq: int, pending: _Pending) -> str:
-        missing = sorted(pending.expected - set(pending.arrivals))
-        return (
-            f"collective {key[1]}[{seq}] over ranks {list(key[0])} can never complete: "
-            f"participant(s) {missing} finished their trace without issuing it "
-            f"(arrived: {sorted(pending.arrivals)})"
-        )
+    # ------------------------------------------------------------------
+    def retire(self, rank: int) -> None:
+        self._retired.add(int(rank))
+        self._inflight.pop(int(rank), None)
+        for slot, pending in self._pending.items():
+            if pending.resolved is not None or pending.failed is not None:
+                continue
+            if not pending.arrivals:
+                continue
+            missing = pending.expected - set(pending.arrivals) - self._retired
+            if not missing:
+                pending.failed = self._mismatch_message(slot[0], slot[1], pending)
+                self._ready.append(slot)
+
+    # ------------------------------------------------------------------
+    def take_ready(self) -> List[CollectiveSlot]:
+        """Slots resolved or failed since the last call (drains the queue).
+        The scheduler wakes the cursors parked on each returned slot."""
+        ready, self._ready = self._ready, []
+        return ready
+
+    def fail_pending(self, reason: str) -> None:
+        """Fail every unresolved slot (scheduler deadlock breaker: every
+        live cursor is parked, so no slot can ever resolve)."""
+        for slot, pending in self._pending.items():
+            if pending.resolved is None and pending.failed is None:
+                key, seq = slot
+                pending.failed = (
+                    f"collective {key[1]}[{seq}] over ranks {list(key[0])} cannot resolve: "
+                    f"{reason} (arrived: {sorted(pending.arrivals)}, "
+                    f"expected: {sorted(pending.expected)})"
+                )
+                self._ready.append(slot)
 
 
 @dataclass

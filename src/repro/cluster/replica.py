@@ -6,9 +6,15 @@ standard seven-stage pipeline with one substitution: the single-rank
 ``init-comms`` stage is replaced by :class:`SyncCollectivesStage`, which —
 in addition to creating the runtime and pre-creating the recorded process
 groups exactly as ``init-comms`` does — attaches the fleet's shared
-:class:`~repro.cluster.rendezvous.CollectiveRendezvous` to the replica's
-distributed context.  From then on every collective the replica replays
-synchronises with its peers instead of being priced purely locally.
+rendezvous (:class:`~repro.cluster.rendezvous.EventRendezvous` under the
+event engine, :class:`~repro.cluster.rendezvous.CollectiveRendezvous` under
+the legacy threaded one) to the replica's distributed context.  From then
+on every collective the replica replays synchronises with its peers instead
+of being priced purely locally.
+
+Under the event engine the replica does not call :meth:`RankReplica.run`
+directly — the :class:`~repro.cluster.scheduler.RankCursor` wraps the same
+pipeline as a resumable generator.
 """
 
 from __future__ import annotations
@@ -26,7 +32,7 @@ from repro.core.pipeline import (
 )
 from repro.core.registry import ReplaySupport
 from repro.core.replayer import ReplayConfig, ReplayResult
-from repro.cluster.rendezvous import CollectiveRendezvous
+from repro.cluster.rendezvous import RendezvousCore
 from repro.et.trace import ExecutionTrace
 from repro.torchsim.profiler import ProfilerTrace
 
@@ -43,7 +49,7 @@ class SyncCollectivesStage(ReplayStage):
 
     name = "sync-collectives"
 
-    def __init__(self, rendezvous: CollectiveRendezvous) -> None:
+    def __init__(self, rendezvous: RendezvousCore) -> None:
         self.rendezvous = rendezvous
 
     def run(self, context: ReplayContext) -> None:
@@ -62,7 +68,7 @@ class RankReplica:
     rank: int
     trace: ExecutionTrace
     config: ReplayConfig
-    rendezvous: CollectiveRendezvous
+    rendezvous: RendezvousCore
     profiler_trace: Optional[ProfilerTrace] = None
     support: Optional[ReplaySupport] = None
     hooks: Sequence[ReplayHook] = field(default_factory=tuple)
@@ -85,7 +91,7 @@ class RankReplica:
     def from_trace(
         cls,
         trace: ExecutionTrace,
-        rendezvous: CollectiveRendezvous,
+        rendezvous: RendezvousCore,
         config: ReplayConfig,
         profiler_trace: Optional[ProfilerTrace] = None,
         overrides: Optional[Dict[str, Any]] = None,

@@ -1,0 +1,399 @@
+"""The single-threaded discrete-event cluster scheduler.
+
+The legacy cluster engine fanned one worker thread per rank and let the
+replicas block on each other inside a barrier rendezvous — correct, but
+capped at thread-pool width and wasteful at scale (a 1024-rank fleet would
+need 1024 live threads that spend most of their time parked on a condition
+variable).  This module replays the same fleet on **one** thread:
+
+* every :class:`~repro.cluster.replica.RankReplica` becomes a
+  :class:`RankCursor` — a generator that runs the replica's stage pipeline
+  and *yields* whenever its next collective cannot resolve yet;
+* the shared :class:`~repro.cluster.rendezvous.EventRendezvous` raises
+  :class:`~repro.cluster.rendezvous.RankBlocked` instead of blocking, and
+  queues resolved/failed slots for the scheduler;
+* :class:`VirtualTimeScheduler` advances runnable cursors, parks blocked
+  ones on their slot, and wakes exactly the parked cursors whose slot
+  resolved — classic discrete-event simulation over per-rank op cursors.
+
+The compute segments *between* collectives run through the same vectorized
+executor as a single-rank replay (:mod:`repro.core.vectorize`): verified
+``OpProgram`` s batch-price whole op runs, and only collective ops drop to
+the scalar attempt path.  The cursor bodies below intentionally mirror
+``ExecuteStage.run`` / ``VectorizedExecutor.replay_entries`` statement for
+statement — the differential suite (``tests/test_scheduler_equivalence.py``)
+pins the two engines to byte-identical reports, so any drift between the
+mirrored loops is caught immediately.
+
+Retry discipline: a collective op is attempted by simply calling it.  If
+the rendezvous raises :class:`RankBlocked`, the attempt has already consumed
+a node ID and advanced the CPU clock by the dispatch overhead inside
+``Runtime.call`` — the cursor restores a
+:meth:`~repro.torchsim.runtime.Runtime.clock_state` snapshot taken at the
+op boundary, parks, and re-executes the op verbatim once the slot resolves
+(the rendezvous recognises the retry and does not consume a second sequence
+number).  Everything else ``call`` touches is exception-safe or mutated
+only after the op function returns, so the retried op replays exactly as a
+blocking engine would have replayed it.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Any, Callable, Dict, Iterable, List, Optional, Tuple
+
+from repro.cluster.rendezvous import EventRendezvous, RankBlocked
+from repro.core import vectorize
+from repro.core.pipeline import ExecuteStage, ReplayContext, ReplayPipelineError
+from repro.core.vectorize import _DEAD, _UNSEEN, _FastBinding, VectorizedExecutor
+from repro.torchsim.profiler import Profiler
+from repro.torchsim.runtime import Runtime
+
+#: Scheduler pick function: ``(runnable ranks, step index) -> index`` into
+#: the runnable list.  Injectable for the insertion-order-independence
+#: property test; ``None`` means FIFO.
+PickFunction = Callable[[List[int], int], int]
+
+
+def _attempt_collective(runtime: Runtime, call: Callable[[], Any]):
+    """Run one collective op, rolling the runtime back and yielding the
+    blocked slot until its rendezvous resolves (see module docstring)."""
+    while True:
+        snapshot = runtime.clock_state()
+        try:
+            return call()
+        except RankBlocked as blocked:
+            runtime.restore_clock_state(snapshot)
+            yield blocked
+
+
+def _replay_scalar_cursor(context: ReplayContext, runtime: Runtime):
+    """Generator mirror of ``ExecuteStage._replay_once_scalar``."""
+    replayed = 0
+    skipped = 0
+    notify = bool(context.hooks)
+    context.tensor_manager.reset_intermediates()
+    for entry in context.selection.entries:
+        if not entry.supported:
+            skipped += 1
+            continue
+        reconstructed = context.reconstructed.get(entry.node.id)
+        if reconstructed is None:
+            skipped += 1
+            continue
+        tensors = context.tensor_manager.gather_inputs(entry.node)
+        stream = (
+            context.stream_assignment.stream_for(entry.node.id)
+            if context.config.use_streams
+            else context.stream_assignment.default_stream
+        )
+        if entry.category == "comms":
+            result = yield from _attempt_collective(
+                runtime, lambda: reconstructed.function(runtime, *tensors, stream=stream)
+            )
+        else:
+            result = reconstructed.function(runtime, *tensors, stream=stream)
+        context.tensor_manager.register_outputs(entry.node, result)
+        replayed += 1
+        if notify:
+            context.emit_op_replayed(entry, result)
+    return replayed, skipped
+
+
+def _replay_vectorized_cursor(
+    executor: VectorizedExecutor, context: ReplayContext, runtime: Runtime
+):
+    """Generator mirror of ``VectorizedExecutor.replay_entries``.
+
+    Identical flow — hot path, dead/unverified bookkeeping, learning — with
+    one difference: the comms scalar branch goes through the rendezvous
+    attempt/park/retry wrapper.  Compute ops never reach the rendezvous, so
+    the learning and fast paths need no wrapping.
+    """
+    replayed = 0
+    skipped = 0
+    notify = bool(context.hooks)
+    tensor_manager = context.tensor_manager
+    stream_assignment = context.stream_assignment
+    use_streams = context.config.use_streams
+    default_stream = stream_assignment.default_stream
+    reconstructed_map = context.reconstructed
+    bindings = executor._bindings
+    stats = executor.stats
+
+    fast_ops = 0
+    scalar_ops = 0
+    tensor_manager.reset_intermediates()
+    for entry in context.selection.entries:
+        if not entry.supported:
+            skipped += 1
+            continue
+        node_id = entry.node.id
+        binding = bindings.get(node_id, _UNSEEN)
+
+        # Hot path: node bound to a verified program.
+        if binding.__class__ is _FastBinding:
+            result = executor._fast_replay(runtime, binding.program)
+            tensor_manager.register_pairs(binding.pairs)
+            replayed += 1
+            fast_ops += 1
+            if notify:
+                context.emit_op_replayed(entry, result)
+            continue
+        if binding is not None and binding is not _UNSEEN:
+            if binding.state == _DEAD:
+                bindings[node_id] = None
+                binding = None
+            # _UNVERIFIED falls through to the learning path below.
+
+        reconstructed = reconstructed_map.get(node_id)
+        if reconstructed is None:
+            skipped += 1
+            continue
+        tensors = tensor_manager.gather_inputs(entry.node)
+        stream = (
+            stream_assignment.stream_for(node_id) if use_streams else default_stream
+        )
+
+        if binding is None or entry.category == "comms":
+            if binding is not None:  # first comms occurrence: bind scalar
+                bindings[node_id] = None
+            if entry.category == "comms":
+                result = yield from _attempt_collective(
+                    runtime,
+                    lambda: reconstructed.function(runtime, *tensors, stream=stream),
+                )
+            else:
+                result = reconstructed.function(runtime, *tensors, stream=stream)
+            scalar_ops += 1
+        else:
+            result = executor._learn(
+                runtime, tensor_manager, entry, reconstructed, tensors, stream
+            )
+        tensor_manager.register_outputs(entry.node, result)
+        replayed += 1
+        if notify:
+            context.emit_op_replayed(entry, result)
+    stats["fast_ops"] += fast_ops
+    stats["scalar_ops"] += scalar_ops
+    return replayed, skipped
+
+
+def _replay_once_cursor(context: ReplayContext, runtime: Runtime):
+    """Generator mirror of ``ExecuteStage._replay_once`` (same dispatch)."""
+    if getattr(context.config, "vectorized", True) and (
+        runtime.observer is None or not runtime.observer.enabled
+    ):
+        executor = context.extras.get(vectorize.EXTRAS_KEY)
+        if executor is None:
+            executor = VectorizedExecutor()
+            context.extras[vectorize.EXTRAS_KEY] = executor
+        return (yield from _replay_vectorized_cursor(executor, context, runtime))
+    return (yield from _replay_scalar_cursor(context, runtime))
+
+
+def _execute_stage_cursor(stage: ExecuteStage, context: ReplayContext):
+    """Generator mirror of ``ExecuteStage.run``."""
+    runtime = context.require("runtime", stage)
+    context.require("selection", stage)
+    context.require("tensor_manager", stage)
+    context.require("stream_assignment", stage)
+
+    profiler: Optional[Profiler] = None
+    if context.config.profile:
+        profiler = runtime.attach_profiler(Profiler())
+    context.profiler = profiler
+
+    context.measuring = False
+    for _ in range(context.config.warmup_iterations):
+        yield from _replay_once_cursor(context, runtime)
+
+    if profiler is not None:
+        profiler.start()
+    context.measure_start_us = runtime.synchronize()
+    context.iteration_times_us = []
+    context.replayed_ops = 0
+    context.skipped_ops = 0
+    context.measuring = True
+    for _ in range(max(1, context.config.iterations)):
+        start = runtime.synchronize()
+        replayed, skipped = yield from _replay_once_cursor(context, runtime)
+        end = runtime.synchronize()
+        context.iteration_times_us.append(end - start)
+        context.replayed_ops += replayed
+        context.skipped_ops += skipped
+    context.measuring = False
+    context.measure_end_us = runtime.synchronize()
+    if profiler is not None:
+        profiler.stop()
+
+
+class RankCursor:
+    """One rank's replay as a resumable op cursor.
+
+    Wraps a :class:`~repro.cluster.replica.RankReplica` in a generator that
+    runs the replica's stage pipeline exactly as ``RankReplica.run`` would
+    (same hook dispatch, error recording and rendezvous retirement), but
+    yields the blocked :class:`~repro.cluster.rendezvous.RankBlocked` signal
+    whenever the execute stage hits an unresolved collective.
+    """
+
+    def __init__(self, replica) -> None:
+        self.replica = replica
+        self.context = ReplayContext(
+            trace=replica.trace,
+            profiler_trace=replica.profiler_trace,
+            config=replica.config,
+            support=replica.support,
+            hooks=list(replica.hooks),
+        )
+        self._generator = self._run()
+
+    def advance(self) -> RankBlocked:
+        """Run until the next park point.  Raises ``StopIteration`` when
+        the replica finished; replay errors propagate (and are recorded on
+        the replica, as in the threaded engine)."""
+        return next(self._generator)
+
+    def close(self) -> None:
+        """Abandon the cursor (runs its ``finally`` blocks → retires the
+        rank from the rendezvous)."""
+        self._generator.close()
+
+    # ------------------------------------------------------------------
+    def _run(self):
+        replica = self.replica
+        context = self.context
+        pipeline = replica.build_pipeline()
+        # Mirror of ReplayPipeline.run_context + RankReplica.run, with the
+        # execute stage swapped for its cursor twin.
+        for hook in pipeline.hooks:
+            if hook not in context.hooks:
+                context.hooks.append(hook)
+        try:
+            for stage in list(pipeline.stages):
+                for hook in context.hooks:
+                    hook.on_stage_start(context, stage)
+                try:
+                    if stage.name == "execute":
+                        yield from _execute_stage_cursor(stage, context)
+                    else:
+                        stage.run(context)
+                except Exception as error:
+                    for hook in context.hooks:
+                        try:
+                            hook.on_error(context, stage, error)
+                        except Exception:  # noqa: BLE001 - see run_context
+                            pass
+                    raise
+                for hook in context.hooks:
+                    hook.on_stage_end(context, stage)
+            if context.result is None:
+                raise ReplayPipelineError(
+                    "pipeline finished without producing a result — it has no "
+                    "result-producing stage"
+                )
+            replica.result = context.result
+            replica.measure_start_us = context.measure_start_us
+        except BaseException as error:  # noqa: BLE001 - recorded, then re-raised
+            replica.error = f"{type(error).__name__}: {error}"
+            raise
+        finally:
+            replica.rendezvous.retire(replica.rank)
+
+
+class VirtualTimeScheduler:
+    """Advances a fleet of rank cursors to completion on one thread.
+
+    The loop is event-driven: advance a runnable cursor until it parks on a
+    collective slot (or finishes), drain the rendezvous's newly
+    resolved/failed slots, wake exactly the cursors parked on them, repeat.
+    When no cursor is runnable but some are still parked, the fleet's
+    collective orders are cross-wired (rank A waits on a collective rank B
+    will only reach after one A has not issued) — the rendezvous fails every
+    unresolved slot so the parked cursors error out instead of hanging,
+    mirroring the threaded engine's timeout behaviour.
+
+    The resolved virtual-time schedule is independent of the pick order
+    (each rank's clock advances deterministically between collectives, and
+    a slot resolves at the max arrival regardless of who arrives last), so
+    any ``pick`` function yields a byte-identical
+    :class:`~repro.cluster.engine.ClusterReport` — the hypothesis suite
+    (``tests/test_property_scheduler.py``) exercises exactly this.
+    """
+
+    def __init__(
+        self,
+        replicas: Iterable,
+        rendezvous: EventRendezvous,
+        pick: Optional[PickFunction] = None,
+    ) -> None:
+        self.replicas = list(replicas)
+        self.rendezvous = rendezvous
+        self.pick = pick
+
+    # ------------------------------------------------------------------
+    def run(self) -> Dict[int, str]:
+        """Drive every cursor to completion; returns ``{rank: error}`` for
+        replicas that failed (empty dict = clean fleet).  Results land on
+        the replicas, exactly like the threaded engine's pool path."""
+        cursors: Dict[int, RankCursor] = {}
+        for replica in self.replicas:
+            cursors[replica.rank] = RankCursor(replica)
+        runnable = deque(sorted(cursors))
+        parked: Dict[Tuple, List[int]] = {}
+        errors: Dict[int, str] = {}
+        outstanding = set(cursors)
+        step = 0
+        try:
+            while outstanding:
+                if not runnable:
+                    # Every live cursor is parked: cross-wired collective
+                    # orders.  Fail the unresolved slots; the woken cursors
+                    # raise CollectiveSyncError on retry.
+                    self.rendezvous.fail_pending(
+                        "every runnable replica is parked on another collective "
+                        "(collective issue orders are cross-wired across ranks)"
+                    )
+                    self._wake(parked, runnable)
+                    if not runnable:
+                        # Nothing to wake either — cursors vanished without
+                        # finishing; record the survivors instead of spinning.
+                        for rank in sorted(outstanding):
+                            errors.setdefault(rank, "deadlocked in the event scheduler")
+                        break
+                    continue
+                if self.pick is not None:
+                    index = self.pick(list(runnable), step) % len(runnable)
+                    rank = runnable[index]
+                    del runnable[index]
+                else:
+                    rank = runnable.popleft()
+                step += 1
+                cursor = cursors[rank]
+                context = cursor.context
+                if context.hooks:
+                    for hook in context.hooks:
+                        on_resume = getattr(hook, "on_resume", None)
+                        if on_resume is not None:
+                            on_resume(context)
+                try:
+                    blocked = cursor.advance()
+                except StopIteration:
+                    outstanding.discard(rank)
+                except Exception as error:  # noqa: BLE001 - aggregated like the pool path
+                    outstanding.discard(rank)
+                    errors[rank] = cursor.replica.error or f"{type(error).__name__}: {error}"
+                else:
+                    parked.setdefault(blocked.slot, []).append(rank)
+                self._wake(parked, runnable)
+        finally:
+            for rank in outstanding:
+                cursors[rank].close()
+        return errors
+
+    # ------------------------------------------------------------------
+    def _wake(self, parked: Dict[Tuple, List[int]], runnable: deque) -> None:
+        for slot in self.rendezvous.take_ready():
+            for rank in parked.pop(slot, ()):
+                runnable.append(rank)

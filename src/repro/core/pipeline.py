@@ -146,6 +146,14 @@ class ReplayHook:
     def on_error(self, context: ReplayContext, stage: "ReplayStage", error: BaseException) -> None:
         """Called when ``stage.run(context)`` raised; the error re-raises."""
 
+    def on_resume(self, context: ReplayContext) -> None:
+        """Called when a cooperative scheduler hands control back to this
+        replay after running other work (the event-driven cluster engine
+        interleaves many ranks on one thread).  Wall-clock observers should
+        re-anchor their marks here so time spent replaying *other* ranks is
+        not attributed to this replay's next operator.  Never called in
+        single-replay (non-interleaved) runs."""
+
 
 # ----------------------------------------------------------------------
 # Stage protocol and the seven core stages
@@ -427,6 +435,23 @@ class MeasureStage(ReplayStage):
 BUILD_STAGE_NAMES = ("select", "reconstruct", "materialize-tensors", "assign-streams")
 
 
+def make_collective_cost_model(config: "ReplayConfig") -> CollectiveCostModel:
+    """The collective pricing model ``config`` describes: interconnect
+    spec, comm-delay knobs and the optional hierarchical topology preset.
+    Shared by the single-rank runtime and the cluster engine so a
+    one-replica cluster replay prices collectives identically to the
+    single-rank pipeline."""
+    from repro.hardware.network import topology_from_name
+
+    spec = config.interconnect or InterconnectSpec()
+    return CollectiveCostModel(
+        spec=spec,
+        delay_scale=config.comm_delay_scale,
+        extra_delay_us=config.comm_extra_delay_us,
+        topology=topology_from_name(getattr(config, "topology", None), spec),
+    )
+
+
 def make_replay_runtime(trace: ExecutionTrace, config: "ReplayConfig") -> Runtime:
     """The runtime (and distributed context) a replay of ``trace`` under
     ``config`` runs on.  World size defaults to the trace metadata's."""
@@ -435,11 +460,7 @@ def make_replay_runtime(trace: ExecutionTrace, config: "ReplayConfig") -> Runtim
         world_size = int(trace.metadata.get("world_size", 1))
     dist: Optional[DistributedContext] = None
     if world_size > 1:
-        collective_model = CollectiveCostModel(
-            spec=config.interconnect or InterconnectSpec(),
-            delay_scale=config.comm_delay_scale,
-            extra_delay_us=config.comm_extra_delay_us,
-        )
+        collective_model = make_collective_cost_model(config)
         dist = DistributedContext(
             rank=min(config.rank, world_size - 1),
             world_size=world_size,

@@ -67,6 +67,12 @@ class ReplayConfig:
     remap_world_size: Optional[int] = None
     comm_delay_scale: float = 1.0
     comm_extra_delay_us: float = 0.0
+    #: Hierarchical-fabric preset pricing the collectives (a key of
+    #: :data:`repro.hardware.network.TOPOLOGY_PRESETS`, e.g.
+    #: ``"nvlink-island"`` or ``"rail-spine"``).  ``None``/``"flat"`` keep
+    #: the flat two-level model.  Changes collective durations, so it is
+    #: part of the canonical form and the digest.
+    topology: Optional[str] = None
     profile: bool = True
     #: Execution *strategy*, not replay semantics: group repeated operator
     #: invocations by (op, shape signature, dtype, stream) and replay each

@@ -12,13 +12,24 @@ skew term that grows slowly with the group size — the same first-order
 behaviour that makes large-scale collectives slower per byte than
 small-scale ones, and the knob the scale-down emulation of Section 7.3
 adjusts.
+
+Beyond the flat two-level split, a :class:`HierarchicalTopology` describes
+the fabric as nested tiers (NVLink island → rail-optimised pod → spine),
+ASTRA-sim-style: each tier has a span (how many ranks it reaches), a
+per-GPU bandwidth and a latency.  A collective over ``n`` ranks is
+bottlenecked by the slowest tier it spans and pays the summed latency of
+every crossed tier — the first-order reason thousand-rank collectives on a
+rail/spine fabric cost more per byte than an 8-GPU island.  Attach one to
+a :class:`CollectiveCostModel` (``topology=``) or pick a preset by name
+through ``ReplayConfig(topology="rail-spine")`` / the ``replay-dist
+--topology`` flag.
 """
 
 from __future__ import annotations
 
 import math
 from dataclasses import dataclass
-from typing import Optional
+from typing import Dict, Optional, Tuple
 
 
 @dataclass(frozen=True)
@@ -43,6 +54,132 @@ class InterconnectSpec:
         return replace(self, **overrides)
 
 
+@dataclass(frozen=True)
+class TopologyTier:
+    """One level of a hierarchical fabric.
+
+    ``span`` is the number of ranks reachable without leaving this tier
+    (cumulative: an NVLink island of 8, a rail pod of 256, ...); ``bw_gbps``
+    the per-GPU unidirectional bandwidth across the tier and ``latency_us``
+    the one-way latency a transfer pays for crossing it.
+    """
+
+    name: str
+    span: int
+    bw_gbps: float
+    latency_us: float
+
+
+@dataclass(frozen=True)
+class HierarchicalTopology:
+    """A nested-tier fabric model (NVLink island / rail / spine).
+
+    Tiers are ordered innermost → outermost with strictly increasing spans.
+    A group of ``world_size`` ranks spans every tier up to the first whose
+    ``span`` covers it; the group's bandwidth is the minimum over the
+    spanned tiers and its base latency their sum — crossing the spine means
+    first crossing the island and the rail.
+    """
+
+    name: str
+    tiers: Tuple[TopologyTier, ...]
+    #: Synchronisation skew per log2(rank) step, as in the flat model.
+    skew_us_per_rank: float = 0.35
+
+    def __post_init__(self) -> None:
+        if not self.tiers:
+            raise ValueError("a HierarchicalTopology needs at least one tier")
+        spans = [tier.span for tier in self.tiers]
+        if spans != sorted(spans) or len(set(spans)) != len(spans):
+            raise ValueError(
+                f"topology tiers must have strictly increasing spans, got {spans}"
+            )
+
+    # ------------------------------------------------------------------
+    def spanned(self, world_size: int) -> Tuple[TopologyTier, ...]:
+        """Tiers a group of ``world_size`` ranks crosses (innermost first)."""
+        crossed = []
+        for tier in self.tiers:
+            crossed.append(tier)
+            if world_size <= tier.span:
+                break
+        return tuple(crossed)
+
+    def bottleneck_bw_gbps(self, world_size: int) -> float:
+        return min(tier.bw_gbps for tier in self.spanned(world_size))
+
+    def latency_us(self, world_size: int) -> float:
+        return sum(tier.latency_us for tier in self.spanned(world_size))
+
+    @property
+    def innermost_span(self) -> int:
+        return self.tiers[0].span
+
+
+def _nvlink_island(spec: InterconnectSpec) -> HierarchicalTopology:
+    """The flat model's two levels as explicit tiers: NVLink island plus a
+    single rail of NICs covering the rest of the fleet."""
+    return HierarchicalTopology(
+        name="nvlink-island",
+        tiers=(
+            TopologyTier("nvlink", spec.gpus_per_node, spec.intra_node_bw_gbps,
+                         spec.intra_node_latency_us),
+            TopologyTier("rail", 1 << 20, spec.inter_node_bw_gbps,
+                         spec.inter_node_latency_us),
+        ),
+        skew_us_per_rank=spec.skew_us_per_rank,
+    )
+
+
+def _rail_spine(spec: InterconnectSpec) -> HierarchicalTopology:
+    """A three-tier datacentre fabric: NVLink islands, rail-optimised pods
+    of 32 nodes, and an oversubscribed spine above them (half the NIC
+    bandwidth per GPU, 2.5x the NIC latency — a conservative 2:1
+    oversubscription plus an extra switch hop)."""
+    pod_span = spec.gpus_per_node * 32
+    return HierarchicalTopology(
+        name="rail-spine",
+        tiers=(
+            TopologyTier("nvlink", spec.gpus_per_node, spec.intra_node_bw_gbps,
+                         spec.intra_node_latency_us),
+            TopologyTier("rail", pod_span, spec.inter_node_bw_gbps,
+                         spec.inter_node_latency_us),
+            TopologyTier("spine", 1 << 20, spec.inter_node_bw_gbps * 0.5,
+                         spec.inter_node_latency_us * 2.5),
+        ),
+        skew_us_per_rank=spec.skew_us_per_rank,
+    )
+
+
+#: Named topology presets, as accepted by ``ReplayConfig.topology`` and the
+#: ``replay-dist --topology`` flag.  ``"flat"`` is the classic two-level
+#: split baked into :class:`CollectiveCostModel` itself (topology=None).
+TOPOLOGY_PRESETS: Dict[str, object] = {
+    "flat": None,
+    "nvlink-island": _nvlink_island,
+    "rail-spine": _rail_spine,
+}
+
+
+def topology_from_name(
+    name: Optional[str], spec: Optional[InterconnectSpec] = None
+) -> Optional[HierarchicalTopology]:
+    """Resolve a preset name to a :class:`HierarchicalTopology` built from
+    ``spec`` (default :class:`InterconnectSpec`); ``None``/``"flat"`` mean
+    the flat model."""
+    if name is None:
+        return None
+    try:
+        factory = TOPOLOGY_PRESETS[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown topology {name!r}; choose one of {sorted(TOPOLOGY_PRESETS)}"
+        ) from None
+    if factory is None:
+        return None
+    return factory(spec if spec is not None else InterconnectSpec())
+
+
 @dataclass
 class CollectiveCostModel:
     """Duration model for collective and point-to-point operations."""
@@ -53,14 +190,21 @@ class CollectiveCostModel:
     delay_scale: float = 1.0
     #: Constant extra delay (us) added to every collective.
     extra_delay_us: float = 0.0
+    #: Optional hierarchical fabric; ``None`` keeps the flat two-level
+    #: model (byte-identical to the pre-topology behaviour).
+    topology: Optional[HierarchicalTopology] = None
 
     # ------------------------------------------------------------------
     # Topology helpers
     # ------------------------------------------------------------------
     def _crosses_nodes(self, world_size: int) -> bool:
+        if self.topology is not None:
+            return world_size > self.topology.innermost_span
         return world_size > self.spec.gpus_per_node
 
     def _bottleneck_bw_bps(self, world_size: int) -> float:
+        if self.topology is not None:
+            return self.topology.bottleneck_bw_gbps(world_size) * 1e9
         gbps = (
             self.spec.inter_node_bw_gbps
             if self._crosses_nodes(world_size)
@@ -69,12 +213,17 @@ class CollectiveCostModel:
         return gbps * 1e9
 
     def _latency_us(self, world_size: int) -> float:
-        base = (
-            self.spec.inter_node_latency_us
-            if self._crosses_nodes(world_size)
-            else self.spec.intra_node_latency_us
-        )
-        return base + self.spec.skew_us_per_rank * math.log2(max(2, world_size))
+        if self.topology is not None:
+            base = self.topology.latency_us(world_size)
+            skew = self.topology.skew_us_per_rank
+        else:
+            base = (
+                self.spec.inter_node_latency_us
+                if self._crosses_nodes(world_size)
+                else self.spec.intra_node_latency_us
+            )
+            skew = self.spec.skew_us_per_rank
+        return base + skew * math.log2(max(2, world_size))
 
     def _finalize(self, duration_us: float) -> float:
         return duration_us * self.delay_scale + self.extra_delay_us
@@ -150,5 +299,5 @@ class CollectiveCostModel:
         if key in ("barrier",):
             return self.barrier_us(world_size)
         if key in ("send", "recv", "isend", "irecv"):
-            return self.p2p_us(bytes_per_rank, same_node=world_size <= self.spec.gpus_per_node)
+            return self.p2p_us(bytes_per_rank, same_node=not self._crosses_nodes(world_size))
         raise ValueError(f"unknown collective operator: {op_name!r}")

@@ -104,6 +104,14 @@ class ProfileHook(ReplayHook):
                 self._stage_wall_s.get(stage.name, 0.0) + self._clock() - started
             )
 
+    def on_resume(self, context: ReplayContext) -> None:
+        """Re-anchor the per-op mark when a cooperative scheduler resumes
+        this replay.  The event-driven cluster engine interleaves many
+        ranks on one thread; without re-anchoring, the first op after a
+        context switch would be billed for the wall time spent replaying
+        *other* ranks (the old one-thread-per-rank assumption)."""
+        self._last_mark = self._clock()
+
     def on_op_replayed(self, context: ReplayContext, entry, output) -> None:
         now = self._clock()
         delta = now - self._last_mark

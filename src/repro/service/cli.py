@@ -118,8 +118,19 @@ def build_parser() -> argparse.ArgumentParser:
     )
     dist_parser.add_argument("--device", default="A100", help="device spec name (default: A100)")
     dist_parser.add_argument(
-        "--world", type=int, default=None, metavar="N",
+        "--world-size", "--world", type=int, default=None, metavar="N", dest="world",
         help="world size collectives are priced at (default: the traces' recorded world size)",
+    )
+    dist_parser.add_argument(
+        "--topology", default=None, metavar="NAME",
+        choices=("flat", "nvlink-island", "rail-spine"),
+        help="hierarchical fabric preset pricing the collectives "
+             "(flat | nvlink-island | rail-spine; default: flat)",
+    )
+    dist_parser.add_argument(
+        "--engine", default="event", choices=("event", "threaded"),
+        help="cluster engine: the event-driven scheduler (default) or the "
+             "legacy thread-per-rank oracle",
     )
     dist_parser.add_argument(
         "--timeout", type=float, default=60.0, metavar="SECONDS",
@@ -307,8 +318,11 @@ def _cmd_replay_dist(args: argparse.Namespace) -> int:
         .iterations(args.iterations, warmup=args.warmup)
         .timeout(args.timeout)
     )
+    session.engine(args.engine)
     if args.world is not None:
         session.world(args.world)
+    if args.topology is not None:
+        session.topology(args.topology)
     if args.memory:
         session.with_memory(budget=_budget_bytes(args.memory_budget_gb))
     try:

@@ -204,6 +204,36 @@ class Runtime:
         """Snapshot of every CPU thread's clock (microseconds)."""
         return dict(self._cpu_clock)
 
+    def clock_state(self) -> tuple:
+        """Snapshot of the dispatch-cursor state :meth:`call` mutates
+        *before* an operator function runs: the per-thread CPU clocks, the
+        node/correlation ID cursors and the issuing thread.
+
+        The event-driven cluster scheduler snapshots this around each
+        collective attempt: a collective whose rendezvous is not yet
+        resolved aborts mid-``call`` (after the dispatch overhead and node
+        ID were consumed), and :meth:`restore_clock_state` rolls those back
+        so the retried attempt replays identically.  Everything else
+        ``call`` touches is either exception-safe (call stack, stream
+        override) or only mutated after the function returns (observer,
+        profiler, GPU launches).
+        """
+        return (
+            dict(self._cpu_clock),
+            self._next_node_id,
+            self._next_correlation_id,
+            self._current_thread,
+        )
+
+    def restore_clock_state(self, state: tuple) -> None:
+        """Restore a :meth:`clock_state` snapshot (see there)."""
+        clocks, node_id, correlation_id, thread = state
+        self._cpu_clock.clear()
+        self._cpu_clock.update(clocks)
+        self._next_node_id = node_id
+        self._next_correlation_id = correlation_id
+        self._current_thread = thread
+
     # ------------------------------------------------------------------
     # Clocks, threads and streams
     # ------------------------------------------------------------------

@@ -333,3 +333,24 @@ class TestMonotonicClockGuard:
         checker = _load_usage_checker()
         clock_rule = next(r for r in checker.RULES if r.name == "non-monotonic-clock")
         assert set(clock_rule.roots) == {"src/repro/bench", "src/repro/profiling"}
+
+
+class TestLegacyEngineGuard:
+    """``scripts/check_deprecated_usage.py`` bans importing the legacy
+    thread-per-rank fan-out (``repro.cluster.legacy``) outside its compat
+    shim and the engine's sanctioned dispatch."""
+
+    def test_rule_fires_on_legacy_import(self, tmp_path):
+        checker = _load_usage_checker()
+        bad = tmp_path / "src" / "repro" / "service"
+        bad.mkdir(parents=True)
+        (bad / "x.py").write_text("from repro.cluster.legacy import execute_threaded\n")
+        offenders = checker.find_offenders(tmp_path)
+        assert list(offenders) == ["legacy-threaded-engine"]
+        assert "x.py:1" in offenders["legacy-threaded-engine"][0]
+
+    def test_shim_and_engine_are_exempt(self):
+        checker = _load_usage_checker()
+        rule = next(r for r in checker.RULES if r.name == "legacy-threaded-engine")
+        assert "src/repro/cluster/legacy.py" in rule.exempt
+        assert "src/repro/cluster/engine.py" in rule.exempt

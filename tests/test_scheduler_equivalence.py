@@ -1,0 +1,371 @@
+"""Differential equivalence: event-driven scheduler vs legacy threaded engine.
+
+The event engine (``ClusterReplayer(engine="event")``, the default) must be
+*report-identical* to the thread-per-rank oracle it replaced — same virtual
+times, same rendezvous stats, same cache digests — across world sizes,
+workloads, straggler overrides, and memory tracking.  The legacy engine
+stays behind ``engine="threaded"`` for one release precisely so this suite
+can hold the two against each other field by field.
+
+Also covers the satellites that ride along with the scheduler:
+
+* the hierarchical topology model (``--topology`` presets) and its
+  flat-model byte-compatibility when disabled;
+* the ``replay-dist`` CLI flags (``--topology``, ``--world-size``,
+  ``--engine``) including the ``--json`` round-trip through
+  :mod:`repro.service.serialize`;
+* the :class:`~repro.profiling.ProfileHook` attribution fix for
+  single-threaded interleaving (``on_resume`` re-anchoring).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from types import SimpleNamespace
+
+import pytest
+
+import repro.api as api
+from repro.bench.harness import capture_workload
+from repro.cluster import ClusterReplayer
+from repro.core.replayer import ReplayConfig
+from repro.hardware.network import (
+    CollectiveCostModel,
+    HierarchicalTopology,
+    InterconnectSpec,
+    TopologyTier,
+    topology_from_name,
+)
+from repro.profiling import ProfileHook
+from repro.service import serialize
+from repro.service.cli import main as cli_main
+from repro.workloads.ddp import DistributedRunner
+from repro.workloads.param_linear import ParamLinearConfig, ParamLinearWorkload
+from tests.conftest import make_small_rm
+
+
+def _ddp_traces(world_size: int):
+    runner = DistributedRunner(
+        lambda rank, world: make_small_rm(rank=rank, world_size=world),
+        world_size=world_size,
+    )
+    return [capture.execution_trace for capture in runner.run()]
+
+
+@pytest.fixture(scope="module")
+def ddp_fleet():
+    """Lazily-built, module-cached DDP-RM trace fleets keyed by world size."""
+    cache = {}
+
+    def get(world_size: int):
+        if world_size not in cache:
+            cache[world_size] = _ddp_traces(world_size)
+        return cache[world_size]
+
+    return get
+
+
+def _digest(report) -> str:
+    """Canonical report digest: equality down to the last serialised byte."""
+    payload = json.dumps(report.to_dict(), sort_keys=True)
+    return hashlib.sha256(payload.encode("utf-8")).hexdigest()
+
+
+def _replay(traces, engine: str, config: ReplayConfig = None, **kwargs):
+    replayer_kwargs = {k: kwargs.pop(k) for k in ("track_memory", "memory_budget") if k in kwargs}
+    replayer = ClusterReplayer(
+        config if config is not None else ReplayConfig(device="A100"),
+        engine=engine,
+        **replayer_kwargs,
+    )
+    return replayer.replay(traces, **kwargs)
+
+
+# ----------------------------------------------------------------------
+# Engine selection surface
+# ----------------------------------------------------------------------
+class TestEngineSelection:
+    def test_event_engine_is_the_default(self):
+        assert ClusterReplayer().engine == "event"
+
+    def test_unknown_engine_is_rejected(self):
+        with pytest.raises(ValueError, match="engine"):
+            ClusterReplayer(engine="fibers")
+
+    def test_serial_backend_still_rejects_multi_rank_fleets(self, ddp_fleet):
+        """The backend contract predates the event engine and survives it."""
+        with pytest.raises(ValueError, match="serial"):
+            ClusterReplayer(backend="serial", engine="event").replay(ddp_fleet(2))
+
+
+# ----------------------------------------------------------------------
+# Differential equivalence, field by field
+# ----------------------------------------------------------------------
+class TestEngineEquivalence:
+    @pytest.mark.parametrize("world_size", [1, 2, 4, 8])
+    def test_ddp_rm_reports_identical_across_world_sizes(self, ddp_fleet, world_size):
+        traces = ddp_fleet(world_size)
+        event = _replay(traces, "event")
+        threaded = _replay(traces, "threaded")
+        assert event.to_dict() == threaded.to_dict()
+        assert _digest(event) == _digest(threaded)
+
+    def test_param_linear_single_rank(self):
+        workload = ParamLinearWorkload(
+            ParamLinearConfig(batch_size=32, num_layers=2, hidden_size=128, input_size=128)
+        )
+        trace = capture_workload(workload, device="A100").execution_trace
+        event = _replay([trace], "event")
+        threaded = _replay([trace], "threaded")
+        assert event.to_dict() == threaded.to_dict()
+
+    def test_rm_single_rank(self):
+        trace = capture_workload(make_small_rm(), device="A100").execution_trace
+        event = _replay([trace], "event")
+        threaded = _replay([trace], "threaded")
+        assert event.to_dict() == threaded.to_dict()
+
+    def test_straggler_overrides(self, ddp_fleet):
+        traces = ddp_fleet(4)
+        overrides = {0: {"device": "V100"}}
+        event = _replay(traces, "event", rank_overrides=overrides)
+        threaded = _replay(traces, "threaded", rank_overrides=overrides)
+        assert event.straggler_rank == threaded.straggler_rank == 0
+        assert event.to_dict() == threaded.to_dict()
+
+    @pytest.mark.parametrize("track_memory", [False, True])
+    def test_memory_tracking_on_and_off(self, ddp_fleet, track_memory):
+        traces = ddp_fleet(2)
+        event = _replay(traces, "event", track_memory=track_memory)
+        threaded = _replay(traces, "threaded", track_memory=track_memory)
+        assert event.has_memory is threaded.has_memory is track_memory
+        assert event.to_dict() == threaded.to_dict()
+
+    def test_world_scaling_override(self, ddp_fleet):
+        """Re-pricing a small fleet at a bigger world (the scale-up what-if)
+        must agree across engines too — this is the path the 1024-rank
+        sweep exercises."""
+        traces = ddp_fleet(2)
+        config = ReplayConfig(device="A100", world_size=64)
+        event = _replay(traces, "event", config=config)
+        threaded = _replay(traces, "threaded", config=config)
+        assert event.world_size == threaded.world_size == 64
+        assert event.to_dict() == threaded.to_dict()
+
+    def test_comm_delay_knobs(self, ddp_fleet):
+        traces = ddp_fleet(2)
+        config = ReplayConfig(device="A100", comm_delay_scale=2.5, comm_extra_delay_us=7.0)
+        assert _replay(traces, "event", config=config).to_dict() == _replay(
+            traces, "threaded", config=config
+        ).to_dict()
+
+    def test_event_engine_is_deterministic_across_runs(self, ddp_fleet):
+        traces = ddp_fleet(4)
+        assert _digest(_replay(traces, "event")) == _digest(_replay(traces, "event"))
+
+    def test_single_replica_failure_contract_held_by_event_engine(self, ddp_fleet):
+        from repro.cluster import ClusterReplayError
+
+        with pytest.raises(ClusterReplayError, match="rank 0"):
+            _replay([ddp_fleet(1)[0]], "event", config=ReplayConfig(device="NoSuchDevice"))
+
+
+# ----------------------------------------------------------------------
+# Hierarchical topology model
+# ----------------------------------------------------------------------
+class TestHierarchicalTopology:
+    def test_flat_preset_is_no_topology(self):
+        assert topology_from_name(None) is None
+        assert topology_from_name("flat") is None
+
+    def test_unknown_preset_is_rejected(self):
+        with pytest.raises(ValueError, match="topology"):
+            topology_from_name("torus")
+
+    def test_presets_resolve_to_increasing_spans(self):
+        for name in ("nvlink-island", "rail-spine"):
+            topology = topology_from_name(name, InterconnectSpec())
+            spans = [tier.span for tier in topology.tiers]
+            assert spans == sorted(spans)
+            assert len(set(spans)) == len(spans)
+
+    def test_spanned_tiers_grow_with_world_size(self):
+        topology = topology_from_name("rail-spine", InterconnectSpec())
+        assert len(topology.spanned(2)) == 1
+        assert len(topology.spanned(64)) == 2
+        assert len(topology.spanned(100_000)) == 3
+
+    def test_bottleneck_is_min_over_spanned_tiers(self):
+        topology = HierarchicalTopology(
+            name="test",
+            tiers=(
+                TopologyTier("fast", 8, 600.0, 2.0),
+                TopologyTier("slow", 1 << 20, 25.0, 10.0),
+            ),
+        )
+        assert topology.bottleneck_bw_gbps(4) == 600.0
+        assert topology.bottleneck_bw_gbps(512) == 25.0
+        # Latency accumulates over every spanned tier.
+        assert topology.latency_us(512) > topology.latency_us(4)
+
+    def test_no_topology_keeps_flat_costs_byte_identical(self):
+        spec = InterconnectSpec()
+        flat = CollectiveCostModel(spec)
+        explicit = CollectiveCostModel(spec, topology=None)
+        for world in (2, 8, 64, 1024):
+            assert flat.collective_us("all_reduce", 1 << 22, world) == explicit.collective_us(
+                "all_reduce", 1 << 22, world
+            )
+
+    def test_spine_crossing_costs_more_than_flat(self):
+        spec = InterconnectSpec()
+        flat = CollectiveCostModel(spec)
+        spine = CollectiveCostModel(spec, topology=topology_from_name("rail-spine", spec))
+        world = 1024  # crosses the (slower, higher-latency) spine tier
+        assert spine.collective_us("all_reduce", 1 << 22, world) > flat.collective_us(
+            "all_reduce", 1 << 22, world
+        )
+
+    def test_flat_topology_report_matches_no_topology(self, ddp_fleet):
+        traces = ddp_fleet(2)
+        base = api.replay_cluster(traces).on("A100").run()
+        flagged = api.replay_cluster(traces).on("A100").topology("flat").run()
+        assert base.to_dict() == flagged.to_dict()
+
+    def test_topology_shifts_fleet_costs_deterministically(self, ddp_fleet):
+        traces = ddp_fleet(2)
+        session = lambda: api.replay_cluster(traces).on("A100").world(1024)
+        flat = session().run()
+        spine = session().topology("rail-spine").run()
+        assert spine.critical_path_us >= flat.critical_path_us
+        # Topology is part of the replay config, so both engines price it.
+        threaded = session().topology("rail-spine").engine("threaded").run()
+        assert spine.to_dict() == threaded.to_dict()
+
+    def test_topology_participates_in_config_digest(self):
+        base = ReplayConfig(device="A100")
+        spine = ReplayConfig(device="A100", topology="rail-spine")
+        assert base.digest() != spine.digest()
+        assert ReplayConfig.from_dict(spine.to_dict()).digest() == spine.digest()
+
+
+# ----------------------------------------------------------------------
+# ProfileHook attribution under the single-threaded event loop
+# ----------------------------------------------------------------------
+class TestProfileAttribution:
+    @staticmethod
+    def _hook_fixture():
+        ticks = [0.0]
+
+        def clock() -> float:
+            return ticks[0]
+
+        hook = ProfileHook(clock=clock)
+        context = SimpleNamespace(measuring=True)
+        entry = SimpleNamespace(node=SimpleNamespace(name="aten::mm"))
+        return ticks, hook, context, entry
+
+    def test_on_resume_reanchors_the_per_op_mark(self):
+        """Regression: ProfileHook assumed one thread per rank, so the first
+        op after an event-scheduler context switch was billed for the wall
+        time spent replaying *other* ranks.  ``on_resume`` re-anchors."""
+        ticks, hook, context, entry = self._hook_fixture()
+        hook.on_stage_start(context, SimpleNamespace(name="execute"))
+        ticks[0] = 1.0
+        hook.on_op_replayed(context, entry, None)  # delta = 1.0
+        ticks[0] = 9.0  # the scheduler runs other ranks for 8 ticks...
+        hook.on_resume(context)  # ...then resumes this rank
+        ticks[0] = 10.0
+        hook.on_op_replayed(context, entry, None)  # delta must be 1.0, not 9.0
+        (op,) = hook.report().ops
+        assert op.count == 2
+        assert op.max_us == pytest.approx(1e6)  # 1.0 s in us, no foreign time
+        assert op.total_ms == pytest.approx(2e3)
+
+    def test_without_resume_foreign_time_would_be_billed(self):
+        """The inverse scenario documents why the hook needs on_resume."""
+        ticks, hook, context, entry = self._hook_fixture()
+        hook.on_stage_start(context, SimpleNamespace(name="execute"))
+        ticks[0] = 1.0
+        hook.on_op_replayed(context, entry, None)
+        ticks[0] = 10.0  # no on_resume: the 9 foreign ticks leak in
+        hook.on_op_replayed(context, entry, None)
+        (op,) = hook.report().ops
+        assert op.max_us == pytest.approx(9e6)
+
+    def test_event_engine_profiles_each_rank_separately(self, ddp_fleet):
+        traces = ddp_fleet(2)
+        report = api.replay_cluster(traces).on("A100").with_profiling().run()
+        profiles = report.profile_reports
+        assert set(profiles) == {0, 1}
+        threaded = (
+            api.replay_cluster(traces).on("A100").engine("threaded").with_profiling().run()
+        )
+        for rank, profile in profiles.items():
+            assert profile.replayed_ops > 0
+            # Attribution is per rank: both engines see the same op set.
+            assert profile.replayed_ops == threaded.profile_reports[rank].replayed_ops
+
+
+# ----------------------------------------------------------------------
+# replay-dist CLI flags
+# ----------------------------------------------------------------------
+class TestReplayDistCliFlags:
+    @pytest.fixture(scope="class")
+    def fleet_dir(self, tmp_path_factory):
+        runner = DistributedRunner(
+            lambda rank, world: make_small_rm(rank=rank, world_size=world), world_size=2
+        )
+        directory = tmp_path_factory.mktemp("fleet")
+        DistributedRunner.save_captures(runner.run(), directory)
+        return directory
+
+    def test_world_size_alias(self, fleet_dir, capsys):
+        exit_code = cli_main(
+            ["replay-dist", str(fleet_dir), "--world-size", "16", "--json", "-n", "1"]
+        )
+        payload = json.loads(capsys.readouterr().out)
+        assert exit_code == 0
+        assert payload["world_size"] == 16
+
+    def test_topology_flag_reaches_the_cost_model(self, fleet_dir, capsys):
+        args = ["replay-dist", str(fleet_dir), "--world-size", "1024", "--json", "-n", "1"]
+        assert cli_main(args) == 0
+        flat = json.loads(capsys.readouterr().out)
+        assert cli_main(args + ["--topology", "rail-spine"]) == 0
+        spine = json.loads(capsys.readouterr().out)
+        assert spine["critical_path_us"] >= flat["critical_path_us"]
+
+    def test_unknown_topology_is_an_argparse_error(self, fleet_dir, capsys):
+        with pytest.raises(SystemExit):
+            cli_main(["replay-dist", str(fleet_dir), "--topology", "torus"])
+
+    def test_engine_flag_matches_default_event_output(self, fleet_dir, capsys):
+        assert cli_main(["replay-dist", str(fleet_dir), "--json", "-n", "1"]) == 0
+        event = json.loads(capsys.readouterr().out)
+        assert (
+            cli_main(
+                ["replay-dist", str(fleet_dir), "--engine", "threaded", "--json", "-n", "1"]
+            )
+            == 0
+        )
+        threaded = json.loads(capsys.readouterr().out)
+        assert event == threaded
+
+    def test_json_round_trips_through_serialize(self, fleet_dir, capsys):
+        assert (
+            cli_main(
+                ["replay-dist", str(fleet_dir), "--topology", "nvlink-island", "--json", "-n", "1"]
+            )
+            == 0
+        )
+        cli_payload = json.loads(capsys.readouterr().out)
+        report = (
+            api.replay_cluster(fleet_dir)
+            .on("A100")
+            .iterations(1)
+            .topology("nvlink-island")
+            .run()
+        )
+        assert cli_payload == json.loads(serialize.dumps(serialize.cluster_payload(report)))
