@@ -3,7 +3,7 @@
 PYTHON ?= python
 export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH),)
 
-.PHONY: test test-cluster test-memory test-profiling test-scheduler bench bench-fast lint example-sweep clean
+.PHONY: test test-cluster test-memory test-profiling test-scheduler test-daemon bench bench-fast lint example-sweep clean
 
 test:
 	$(PYTHON) -m pytest -x -q
@@ -26,11 +26,17 @@ test-profiling:
 	$(PYTHON) -m pytest tests/test_profiling.py tests/test_vectorized_equivalence.py -q
 	$(PYTHON) -m repro profile --help > /dev/null
 
-# Event-driven cluster scheduler: the differential-equivalence suite
-# (event vs legacy threaded engine), the hypothesis property suite, and
-# the 1024-rank fleet-throughput benchmark.
+# Event-driven cluster scheduler: the hypothesis property suite (the
+# scheduler's contract since the threaded oracle retired) and the
+# 1024-rank fleet-throughput benchmark.
 test-scheduler:
-	$(PYTHON) -m pytest tests/test_scheduler_equivalence.py tests/test_property_scheduler.py benchmarks/test_cluster_scale.py -q
+	$(PYTHON) -m pytest tests/test_property_scheduler.py benchmarks/test_cluster_scale.py -q
+
+# Replay daemon: job queue / REST API / pause-resume-snapshot tests, the
+# serialize round-trip suite, and a CLI smoke run of `repro serve`.
+test-daemon:
+	$(PYTHON) -m pytest tests/test_daemon.py tests/test_serialize_payloads.py -q
+	$(PYTHON) -m repro serve --help > /dev/null
 
 bench:
 	$(PYTHON) -m pytest benchmarks/ -q

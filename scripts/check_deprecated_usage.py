@@ -6,10 +6,10 @@ Three rules, one pass:
 * The deprecated ``Replayer`` entry point must not be used inside ``src/``
   outside its own shim module — every replay goes through
   ``repro.core.pipeline.ReplayPipeline`` (usually via ``repro.api``).
-* The legacy thread-per-rank cluster fan-out (``repro.cluster.legacy``)
-  must not be imported outside its compat shim and the engine's one
-  sanctioned dispatch — it only survives one release as the event
-  scheduler's differential-testing oracle.
+* ``BatchReplayer`` must not be constructed outside ``src/repro/service/``
+  and ``src/repro/daemon/`` — batch work flows through the facade
+  (``repro.api.sweep``), the service layer, or the daemon's job queue, so
+  cache policy, error reporting and pause semantics stay in one place.
 * ``time.time(`` is banned wherever the package measures *host* durations
   (``src/repro/bench/`` and ``src/repro/profiling/``): it is not monotonic
   (NTP slews and clock steps corrupt measured windows), so all wall-time
@@ -38,7 +38,8 @@ class Rule:
     #: Directories (relative to the repo root) the rule scans.
     roots: Tuple[str, ...]
     message: str
-    #: Files (relative to the repo root) exempt from the rule.
+    #: Paths (relative to the repo root) exempt from the rule: exact files,
+    #: or whole directories when the entry ends with ``/``.
     exempt: Tuple[str, ...] = field(default=())
 
 
@@ -56,20 +57,19 @@ RULES = (
         ),
     ),
     Rule(
-        name="legacy-threaded-engine",
-        # The thread-per-rank fan-out survives one release as the
-        # differential-testing oracle behind ClusterReplayer(engine=
-        # "threaded"); nothing else in src/ may reach for it directly.
-        pattern=re.compile(r"\bcluster\.legacy\b|\bfrom repro\.cluster import legacy\b"),
+        name="direct-batch-replayer",
+        # Batch execution policy (cache, error capture, pause semantics)
+        # lives in the service layer and the daemon's queue; nothing else
+        # constructs the replayer directly.
+        pattern=re.compile(r"\bBatchReplayer\("),
         roots=("src",),
         exempt=(
-            "src/repro/cluster/legacy.py",
-            "src/repro/cluster/engine.py",
+            "src/repro/service/",
+            "src/repro/daemon/",
         ),
         message=(
-            "legacy threaded cluster fan-out imported outside the compat shim "
-            "(use ClusterReplayer's event engine, or engine='threaded' for "
-            "differential testing)"
+            "BatchReplayer constructed outside service/ and daemon/ (submit "
+            "through repro.api.sweep, the service layer, or the daemon queue)"
         ),
     ),
     Rule(
@@ -88,13 +88,16 @@ def find_offenders(root: Path = Path(".")) -> Dict[str, List[str]]:
     """Scan the tree under ``root``; rule name -> ``file:line: text`` hits."""
     offenders: Dict[str, List[str]] = {}
     for rule in RULES:
-        exempt = {root / path for path in rule.exempt}
+        exempt_files = {root / path for path in rule.exempt if not path.endswith("/")}
+        exempt_dirs = [root / path for path in rule.exempt if path.endswith("/")]
         for scan_root in rule.roots:
             base = root / scan_root
             if not base.is_dir():
                 continue
             for path in sorted(base.rglob("*.py")):
-                if path in exempt:
+                if path in exempt_files:
+                    continue
+                if any(directory in path.parents for directory in exempt_dirs):
                     continue
                 for lineno, line in enumerate(path.read_text().splitlines(), start=1):
                     if rule.pattern.search(line):

@@ -93,7 +93,6 @@ from repro.memory import (
 from repro.core.registry import ReplaySupport
 from repro.core.replayer import ReplayConfig, ReplayResult, ReplayResultSummary
 from repro.profiling import ProfileHook, ProfileReport
-from repro.service.batch import BatchReplayer
 from repro.service.cache import ResultCache
 from repro.service.repository import TraceRepository
 from repro.service.sweep import SweepResult, SweepRunner, SweepSpec
@@ -228,10 +227,7 @@ def sweep(
             base=base if base is not None else ReplayConfig(),
         )
     cache = ResultCache(cache_dir) if cache_dir is not None else None
-    runner = SweepRunner(
-        repository,
-        replayer=BatchReplayer(cache=cache, max_workers=workers, backend=backend),
-    )
+    runner = SweepRunner(repository, cache=cache, max_workers=workers, backend=backend)
     return runner.run(spec)
 
 

@@ -49,7 +49,6 @@ class ClusterSession:
         self._support = support
         self._rank_overrides: Dict[int, Dict[str, Any]] = {}
         self._backend = "thread"
-        self._engine = "event"
         self._timeout_s = 60.0
         self._strict_match = True
         self._track_memory = False
@@ -156,20 +155,14 @@ class ClusterSession:
     # ------------------------------------------------------------------
     def backend(self, backend: str) -> "ClusterSession":
         """Worker backend: ``"thread"`` (default) or ``"serial"`` (one
-        replica only).  Only meaningful for ``engine("threaded")``."""
+        replica only; kept as a single-replica assertion — the event
+        scheduler is single-threaded either way)."""
         self._backend = backend
         return self
 
-    def engine(self, engine: str) -> "ClusterSession":
-        """Cluster execution engine: ``"event"`` (default — the
-        single-threaded discrete-event scheduler, scales to thousands of
-        ranks) or ``"threaded"`` (the legacy one-thread-per-rank fan-out,
-        kept for one release as the differential-testing oracle)."""
-        self._engine = engine
-        return self
-
     def timeout(self, seconds: float) -> "ClusterSession":
-        """Real-time rendezvous guard against mismatched fleets."""
+        """Accepted for compatibility; the event scheduler detects
+        unresolvable fleets structurally, so no wall-clock guard runs."""
         self._timeout_s = seconds
         return self
 
@@ -195,7 +188,6 @@ class ClusterSession:
 
         replayer = ClusterReplayer(
             config=self._config,
-            engine=self._engine,
             backend=self._backend,
             timeout_s=self._timeout_s,
             strict_match=self._strict_match,

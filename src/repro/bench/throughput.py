@@ -56,6 +56,14 @@ BENCH_FILENAME = "BENCH_replay_throughput.json"
 #: BENCH-file section recording the event scheduler's fleet throughput.
 CLUSTER_SCALE_SECTION = "cluster_scale"
 
+#: BENCH-file section recording the daemon's sustained jobs/sec.
+DAEMON_THROUGHPUT_SECTION = "daemon_throughput"
+
+#: Sections owned by benchmarks other than the main throughput run;
+#: :func:`write_report` carries them forward so whichever benchmark writes
+#: second never clobbers the others' sections.
+PRESERVED_SECTIONS = (CLUSTER_SCALE_SECTION, DAEMON_THROUGHPUT_SECTION)
+
 #: Benchmarked workloads, in report order.
 BENCH_WORKLOADS = ("param_linear", "rm", "ddp_rm")
 
@@ -312,20 +320,23 @@ def run_benchmark(
 def write_report(report: Dict[str, Any], path: Optional[Path] = None) -> Path:
     """Write the BENCH payload to its trajectory location (repo root).
 
-    The ``cluster_scale`` section is written by a different benchmark
-    (``benchmarks/test_cluster_scale.py``) than the main throughput run, so
-    whichever writes second must not clobber the other's section.
+    The :data:`PRESERVED_SECTIONS` (``cluster_scale``,
+    ``daemon_throughput``) are written by different benchmarks than the
+    main throughput run, so whichever writes second must not clobber the
+    others' sections.
     """
     from repro.service import serialize
 
     target = Path(path) if path is not None else _repo_root() / BENCH_FILENAME
-    if CLUSTER_SCALE_SECTION not in report and target.exists():
+    missing = [name for name in PRESERVED_SECTIONS if name not in report]
+    if missing and target.exists():
         try:
             previous = json.loads(target.read_text())
         except ValueError:
             previous = {}
-        if CLUSTER_SCALE_SECTION in previous:
-            report = {**report, CLUSTER_SCALE_SECTION: previous[CLUSTER_SCALE_SECTION]}
+        carried = {name: previous[name] for name in missing if name in previous}
+        if carried:
+            report = {**report, **carried}
     target.write_text(serialize.dumps(report) + "\n")
     return target
 
@@ -402,7 +413,6 @@ def run_cluster_scale_benchmark(
     world_size: int = 1024,
     device: str = "A100",
     topology: Optional[str] = None,
-    engine: str = "event",
 ) -> Dict[str, Any]:
     """Replay a synthetic ``world_size``-rank DDP-RM fleet and measure the
     scheduler's fleet throughput in rank-ops/s (total replayed operators
@@ -417,14 +427,14 @@ def run_cluster_scale_benchmark(
         world_size=world_size,
         topology=topology,
     )
-    replayer = ClusterReplayer(replay_config, engine=engine)
+    replayer = ClusterReplayer(replay_config)
     start = time.perf_counter()
     report = replayer.replay(fleet)
     wall_s = time.perf_counter() - start
     total_ops = sum(rank.summary.replayed_ops for rank in report.ranks)
     return {
         "world_size": world_size,
-        "engine": engine,
+        "engine": "event",
         "topology": topology if topology is not None else "flat",
         "replicas": report.num_replicas,
         "total_replayed_ops": total_ops,
@@ -447,11 +457,11 @@ def format_cluster_scale(section: Dict[str, Any]) -> str:
     )
 
 
-def merge_cluster_scale(
-    section: Dict[str, Any], path: Optional[Path] = None
+def merge_section(
+    name: str, section: Dict[str, Any], path: Optional[Path] = None
 ) -> Path:
-    """Record the cluster_scale section into the BENCH trajectory file,
-    preserving whatever the main throughput benchmark already wrote."""
+    """Record one named section into the BENCH trajectory file, preserving
+    everything the other benchmarks already wrote."""
     target = Path(path) if path is not None else _repo_root() / BENCH_FILENAME
     report: Dict[str, Any] = {
         "schema_version": BENCH_SCHEMA_VERSION,
@@ -462,5 +472,111 @@ def merge_cluster_scale(
             report = json.loads(target.read_text())
         except ValueError:
             pass
-    report[CLUSTER_SCALE_SECTION] = section
+    report[name] = section
     return write_report(report, path=target)
+
+
+def merge_cluster_scale(
+    section: Dict[str, Any], path: Optional[Path] = None
+) -> Path:
+    """Record the cluster_scale section (see :func:`merge_section`)."""
+    return merge_section(CLUSTER_SCALE_SECTION, section, path=path)
+
+
+# ----------------------------------------------------------------------
+# Daemon throughput: sustained jobs/sec under concurrent clients
+# ----------------------------------------------------------------------
+def run_daemon_throughput_benchmark(
+    clients: int = 8,
+    jobs_per_client: int = 4,
+    workers: int = 4,
+) -> Dict[str, Any]:
+    """Drive a real :class:`~repro.daemon.daemon.ReplayDaemon` (with its
+    HTTP front-end) from ``clients`` concurrent client threads and measure
+    sustained jobs/sec through the full path: HTTP submit -> fair queue ->
+    executor -> replay -> HTTP result.
+
+    Every job is a one-point sweep over the small param_linear bench
+    trace with a unique power-limit axis value, so nothing is served from
+    cache and each job prices real replay work.
+    """
+    import shutil
+    import tempfile
+    import threading
+
+    from repro.daemon.client import DaemonClient
+    from repro.daemon.daemon import ReplayDaemon
+    from repro.daemon.server import DaemonServer
+    from repro.service.repository import TraceRepository
+
+    root = Path(tempfile.mkdtemp(prefix="repro-daemon-bench-"))
+    try:
+        trace, _ = capture_bench_workload("param_linear")
+        repo_dir = root / "traces"
+        TraceRepository(repo_dir).add("param_linear", trace)
+
+        daemon = ReplayDaemon(root / "state", workers=workers)
+        states: List[str] = []
+        states_lock = threading.Lock()
+        with DaemonServer(daemon, port=0) as server:
+
+            def drive(index: int) -> None:
+                client = DaemonClient(server.url, client_id=f"client-{index}")
+                job_ids = []
+                for offset in range(jobs_per_client):
+                    payload = {
+                        "repo": str(repo_dir),
+                        "traces": None,
+                        "devices": ["A100"],
+                        # Unique axis value per job: no cache hits.
+                        "axes": {"power_limit_w": [200.0 + 10.0 * index + offset]},
+                        "base": {"iterations": 1},
+                    }
+                    job_ids.append(client.submit("sweep", payload)["id"])
+                finals = [client.wait(job_id, timeout=600.0) for job_id in job_ids]
+                with states_lock:
+                    states.extend(final["state"] for final in finals)
+
+            threads = [
+                threading.Thread(target=drive, args=(index,), name=f"bench-client-{index}")
+                for index in range(clients)
+            ]
+            start = time.perf_counter()
+            for thread in threads:
+                thread.start()
+            for thread in threads:
+                thread.join()
+            wall_s = time.perf_counter() - start
+            cache_entries = daemon.cache.stats()["entries"]
+    finally:
+        shutil.rmtree(root, ignore_errors=True)
+
+    total = clients * jobs_per_client
+    completed = sum(1 for state in states if state == "completed")
+    return {
+        "clients": clients,
+        "jobs_per_client": jobs_per_client,
+        "workers": workers,
+        "jobs_total": total,
+        "jobs_completed": completed,
+        "wall_s": wall_s,
+        "jobs_per_sec": completed / wall_s if wall_s > 0 else 0.0,
+        "cache_entries": cache_entries,
+    }
+
+
+def format_daemon_throughput(section: Dict[str, Any]) -> str:
+    """Human-readable one-liner for the daemon_throughput BENCH section."""
+    return (
+        f"daemon throughput: {section['clients']} clients x "
+        f"{section['jobs_per_client']} jobs ({section['workers']} workers) -> "
+        f"{section['jobs_completed']}/{section['jobs_total']} completed in "
+        f"{section['wall_s']:.1f}s = {section['jobs_per_sec']:.1f} jobs/s"
+    )
+
+
+def merge_daemon_throughput(
+    section: Dict[str, Any], path: Optional[Path] = None
+) -> Path:
+    """Record the daemon_throughput section (see :func:`merge_section`)."""
+    return merge_section(DAEMON_THROUGHPUT_SECTION, section, path=path)

@@ -16,9 +16,7 @@ virtual-time collective scheduler:
    :class:`~repro.cluster.scheduler.VirtualTimeScheduler` — a cursor parks
    when its next collective cannot resolve yet and is woken when the
    :class:`~repro.cluster.rendezvous.EventRendezvous` resolves the slot,
-   so fleets of thousands of ranks need no thread per rank.  The legacy
-   thread-per-rank fan-out (``engine="threaded"``) remains for one release
-   as the differential-testing oracle.
+   so fleets of thousands of ranks need no thread per rank.
 3. **Aggregate**: per-rank results and the rendezvous's event log fold into
    a :class:`ClusterReport` — per-rank timelines, exposed-communication
    time, rendezvous stall, and the slowest-rank critical path.
@@ -41,7 +39,6 @@ from repro.core.registry import ReplaySupport
 from repro.core.replayer import ReplayConfig, ReplayResult, ReplayResultSummary
 from repro.cluster.rendezvous import (
     CollectiveKey,
-    CollectiveRendezvous,
     EventRendezvous,
     RendezvousCore,
     normalize_op,
@@ -326,24 +323,17 @@ class ClusterReplayer:
         gets its ``rank`` pinned to its trace's recorded rank.  The
         interconnect / comm-delay / topology fields also parameterise the
         shared collective cost model.
-    engine:
-        ``"event"`` (default) co-replays the fleet on one thread under the
-        discrete-event :class:`~repro.cluster.scheduler.VirtualTimeScheduler`.
-        ``"threaded"`` is the legacy thread-per-rank fan-out, kept for one
-        release as the differential-testing oracle (byte-identical reports;
-        see ``tests/test_scheduler_equivalence.py``).
     backend:
-        ``"thread"`` (default) or ``"serial"``.  Only meaningful for the
-        threaded engine, where ``"serial"`` is accepted for a
-        single-replica fleet only — threaded replicas block on each other
-        inside the rendezvous, so serial multi-rank execution would
-        deadlock.  The event engine is single-threaded by construction and
-        accepts either value (the multi-rank ``"serial"`` rejection is kept
-        for contract compatibility).
+        ``"thread"`` (default) or ``"serial"``.  The event engine is
+        single-threaded by construction and accepts either value; the
+        multi-rank ``"serial"`` rejection is kept for contract
+        compatibility with callers that used it as a single-replica
+        assertion.
     timeout_s:
-        Real-time rendezvous guard for the threaded engine (see
-        :class:`~repro.cluster.rendezvous.CollectiveRendezvous`); the event
-        engine needs none — it detects an unresolvable fleet structurally.
+        Accepted for CLI/API compatibility and otherwise unused: the event
+        engine needs no wall-clock rendezvous guard — an unresolvable
+        fleet is detected structurally (every live cursor parked) and
+        failed immediately.
     strict_match:
         Raise :class:`ClusterMatchError` when the pre-flight match finds
         unmatched collectives (default); pass ``False`` to attempt the
@@ -361,28 +351,27 @@ class ClusterReplayer:
         track_memory: bool = False,
         memory_budget: Optional[Any] = None,
         profile_hook_factory: Optional[Callable[[int], Any]] = None,
-        engine: str = "event",
     ) -> None:
         if backend not in ("thread", "serial"):
             raise ValueError(
                 f"unsupported cluster backend {backend!r}: replicas synchronise through "
                 "shared memory, so only 'thread' (and 'serial' for one replica) work"
             )
-        if engine not in ("event", "threaded"):
-            raise ValueError(
-                f"unsupported cluster engine {engine!r}: choose 'event' (the "
-                "discrete-event scheduler) or 'threaded' (the legacy oracle)"
-            )
         self.config = config if config is not None else ReplayConfig()
         self.backend = backend
-        self.engine = engine
         self.timeout_s = timeout_s
         self.strict_match = strict_match
         self.support = support
-        #: Optional scheduler pick function (event engine only): chooses
-        #: which runnable cursor advances next.  Reports are pick-order
-        #: independent; the property suite injects randomised picks here.
+        #: Optional scheduler pick function: chooses which runnable cursor
+        #: advances next.  Reports are pick-order independent; the property
+        #: suite injects randomised picks here.
         self.scheduler_pick: Optional[Callable[[List[int], int], int]] = None
+        #: Optional scheduler interrupt callback, polled at every scheduling
+        #: step; a truthy return pauses the co-replay by raising
+        #: :class:`~repro.cluster.scheduler.ClusterPaused`.  The daemon's
+        #: executor uses this to pause cluster jobs at rendezvous
+        #: boundaries; resume re-runs the fleet deterministically.
+        self.scheduler_interrupt: Optional[Callable[[], bool]] = None
         #: Per-rank memory footprints (``repro.memory``): simulate each
         #: replica's device memory and aggregate the per-rank reports plus
         #: the max-rank summary onto the :class:`ClusterReport`.
@@ -454,18 +443,10 @@ class ClusterReplayer:
                 + "\n  ".join(match.unmatched)
             )
 
-        rendezvous: RendezvousCore
-        if self.engine == "threaded":
-            rendezvous = CollectiveRendezvous(
-                cost_model=self._cost_model(),
-                participants=ranks,
-                timeout_s=self.timeout_s,
-            )
-        else:
-            rendezvous = EventRendezvous(
-                cost_model=self._cost_model(),
-                participants=ranks,
-            )
+        rendezvous: RendezvousCore = EventRendezvous(
+            cost_model=self._cost_model(),
+            participants=ranks,
+        )
         profile_hooks: Dict[int, Any] = {}
         replicas = []
         for trace, profiler in zip(fleet, profilers):
@@ -545,17 +526,13 @@ class ClusterReplayer:
                 "backend='serial' cannot co-replay multiple ranks (replicas block "
                 "on each other inside the rendezvous); use backend='thread'"
             )
-        if self.engine == "threaded":
-            # The one sanctioned import of the compat shim; everywhere else
-            # scripts/check_deprecated_usage.py bans it.
-            from repro.cluster.legacy import execute_threaded
-
-            return execute_threaded(replicas, self.backend)
-
         from repro.cluster.scheduler import VirtualTimeScheduler
 
         scheduler = VirtualTimeScheduler(
-            replicas, replicas[0].rendezvous, pick=self.scheduler_pick
+            replicas,
+            replicas[0].rendezvous,
+            pick=self.scheduler_pick,
+            interrupt=self.scheduler_interrupt,
         )
         errors = scheduler.run()
         if errors:

@@ -23,29 +23,26 @@ the earliest and latest arrival is the collective's *skew* — both are
 recorded per event and aggregated into the
 :class:`~repro.cluster.engine.ClusterReport`.
 
-Two rendezvous implementations share that matching/pricing core:
-
-* :class:`CollectiveRendezvous` — the legacy *barrier*: each replica runs
-  on its own thread and blocks inside :meth:`~CollectiveRendezvous.sync`
-  until every participant arrives (kept as the differential-testing oracle
-  behind ``ClusterReplayer(engine="threaded")``).
-* :class:`EventRendezvous` — the *event source* driving the single-threaded
-  :class:`~repro.cluster.scheduler.VirtualTimeScheduler`: instead of
-  blocking, an unresolved ``sync`` raises :class:`RankBlocked` so the
-  scheduler can park the rank's op cursor and advance another rank; slots
-  that resolve (or fail) are queued for :meth:`~EventRendezvous.take_ready`
-  so the scheduler knows exactly which cursors to wake.
+:class:`EventRendezvous` is the concrete implementation — the *event
+source* driving the single-threaded
+:class:`~repro.cluster.scheduler.VirtualTimeScheduler`: instead of
+blocking, an unresolved ``sync`` raises :class:`RankBlocked` so the
+scheduler can park the rank's op cursor and advance another rank; slots
+that resolve (or fail) are queued for :meth:`~EventRendezvous.take_ready`
+so the scheduler knows exactly which cursors to wake.  (A thread-barrier
+sibling, ``CollectiveRendezvous``, soaked one release as the
+differential-testing oracle and has been retired; the matching/pricing
+core it validated lives on in :class:`RendezvousCore`.)
 
 Because a collective resolves only after **all** participants arrive, the
-resolved schedule is deterministic regardless of thread interleaving or
-cursor scheduling order; :meth:`~RendezvousCore.stats` additionally sorts
-the event log canonically before accumulating, so the aggregated floats
-are byte-identical across engines and schedules too.
+resolved schedule is deterministic regardless of cursor scheduling order;
+:meth:`~RendezvousCore.stats` additionally sorts the event log canonically
+before accumulating, so the aggregated floats are byte-identical across
+schedules too.
 """
 
 from __future__ import annotations
 
-import threading
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple
 
@@ -62,7 +59,8 @@ CollectiveSlot = Tuple[CollectiveKey, int]
 
 class CollectiveSyncError(RuntimeError):
     """A collective could not be matched across the participating replicas
-    (a rank finished or failed without issuing it, or the wait timed out)."""
+    (a rank finished or failed without issuing it, or the fleet's
+    collective issue orders are cross-wired)."""
 
 
 class RankBlocked(Exception):
@@ -194,9 +192,8 @@ class RendezvousCore:
         Events are accumulated in a *canonical* order (sorted by key,
         sequence and arrivals) rather than resolution order: float addition
         is not associative, and the append order of the event log depends
-        on thread timing (barrier engine) or cursor schedule (event
-        engine).  Sorting first makes the aggregated stall/skew sums
-        byte-identical across engines and schedules.
+        on the cursor schedule.  Sorting first makes the aggregated
+        stall/skew sums byte-identical across schedules.
         """
         events = self._events_snapshot()
         if measure_start_by_rank is not None:
@@ -264,118 +261,6 @@ def _event_sort_key(event: CollectiveEvent):
     return (event.key[0], event.key[1], event.seq, sorted(event.arrivals.items()))
 
 
-class CollectiveRendezvous(RendezvousCore):
-    """The legacy thread-barrier rendezvous (one worker thread per rank).
-
-    Kept for one release as the differential-testing oracle behind
-    ``ClusterReplayer(engine="threaded")``; the event engine's
-    :class:`EventRendezvous` is the default.
-
-    Parameters beyond :class:`RendezvousCore`:
-
-    timeout_s:
-        Real-time cap on one rendezvous wait.  The pre-flight match check
-        (:func:`repro.cluster.engine.match_collectives`) makes a genuine
-        mismatch almost impossible; the timeout is the last-resort guard
-        against hangs.
-    """
-
-    def __init__(
-        self,
-        cost_model: CollectiveCostModel,
-        participants: Sequence[int],
-        timeout_s: float = 60.0,
-    ) -> None:
-        super().__init__(cost_model, participants)
-        self.timeout_s = timeout_s
-        self._cond = threading.Condition()
-
-    # ------------------------------------------------------------------
-    def sync(
-        self,
-        rank: int,
-        op: str,
-        group_ranks: Sequence[int],
-        bytes_per_rank: float,
-        arrival_us: float,
-    ) -> Tuple[float, Optional[float]]:
-        """Announce a collective and block until all participants arrive.
-
-        Returns ``(start_us, duration_us)`` shared by every participant.
-        ``duration_us`` is ``None`` for degenerate singleton groups (a
-        local no-op, priced by the kernel cost model as a memcpy).
-        """
-        key: CollectiveKey = (tuple(sorted(int(r) for r in group_ranks)), normalize_op(op))
-        expected = frozenset(key[0]) & self.participants
-        with self._cond:
-            seq = self._seq.get((rank, key), 0)
-            self._seq[(rank, key)] = seq + 1
-            if len(expected) <= 1:
-                # Only this replica participates (the rest of the recorded
-                # group is not being replayed): nothing to wait for, but the
-                # collective is still priced at the recorded group size.
-                duration = self._price(key, bytes_per_rank)
-                self._record(key, seq, arrival_us, duration, {rank: arrival_us}, bytes_per_rank)
-                return arrival_us, duration
-
-            slot = (key, seq)
-            pending = self._pending.get(slot)
-            if pending is None:
-                pending = _Pending(expected=expected, consumers=set(expected))
-                self._pending[slot] = pending
-            pending.arrivals[rank] = arrival_us
-            pending.bytes_per_rank = max(pending.bytes_per_rank, bytes_per_rank)
-
-            if set(pending.arrivals) >= pending.expected:
-                start = max(pending.arrivals.values())
-                duration = self._price(key, pending.bytes_per_rank)
-                pending.resolved = (start, duration)
-                self._record(key, seq, start, duration, dict(pending.arrivals), pending.bytes_per_rank)
-                self._cond.notify_all()
-            else:
-                missing = pending.expected - set(pending.arrivals) - self._retired
-                if not missing:
-                    pending.failed = self._mismatch_message(key, seq, pending)
-                    self._cond.notify_all()
-
-            waited = self._cond.wait_for(
-                lambda: pending.resolved is not None or pending.failed is not None,
-                timeout=self.timeout_s,
-            )
-            if pending.failed is not None:
-                raise CollectiveSyncError(pending.failed)
-            if not waited:
-                raise CollectiveSyncError(
-                    f"rendezvous timed out after {self.timeout_s}s waiting for "
-                    f"{sorted(pending.expected - set(pending.arrivals))} on collective "
-                    f"{key[1]}[{seq}] over ranks {list(key[0])}"
-                )
-            assert pending.resolved is not None
-            pending.consumers.discard(rank)
-            if not pending.consumers:
-                del self._pending[slot]
-            return pending.resolved
-
-    # ------------------------------------------------------------------
-    def retire(self, rank: int) -> None:
-        with self._cond:
-            self._retired.add(int(rank))
-            for (key, seq), pending in self._pending.items():
-                if pending.resolved is not None or pending.failed is not None:
-                    continue
-                if not pending.arrivals:
-                    continue
-                missing = pending.expected - set(pending.arrivals) - self._retired
-                if not missing:
-                    pending.failed = self._mismatch_message(key, seq, pending)
-            self._cond.notify_all()
-
-    # ------------------------------------------------------------------
-    def _events_snapshot(self) -> List[CollectiveEvent]:
-        with self._cond:
-            return list(self.events)
-
-
 class EventRendezvous(RendezvousCore):
     """Non-blocking rendezvous: the event source of the virtual-time
     scheduler (:class:`~repro.cluster.scheduler.VirtualTimeScheduler`).
@@ -387,9 +272,6 @@ class EventRendezvous(RendezvousCore):
     the parked cursors — woken cursors *retry* the same ``sync`` call, and
     the retry is recognised (same in-flight slot per rank) so the per-group
     sequence number is not consumed twice.
-
-    Matching, pricing and the recorded event schedule are identical to the
-    barrier rendezvous; only the waiting discipline differs.
     """
 
     def __init__(

@@ -6,15 +6,15 @@ standard seven-stage pipeline with one substitution: the single-rank
 ``init-comms`` stage is replaced by :class:`SyncCollectivesStage`, which —
 in addition to creating the runtime and pre-creating the recorded process
 groups exactly as ``init-comms`` does — attaches the fleet's shared
-rendezvous (:class:`~repro.cluster.rendezvous.EventRendezvous` under the
-event engine, :class:`~repro.cluster.rendezvous.CollectiveRendezvous` under
-the legacy threaded one) to the replica's distributed context.  From then
-on every collective the replica replays synchronises with its peers instead
-of being priced purely locally.
+:class:`~repro.cluster.rendezvous.EventRendezvous` to the replica's
+distributed context.  From then on every collective the replica replays
+synchronises with its peers instead of being priced purely locally.
 
-Under the event engine the replica does not call :meth:`RankReplica.run`
-directly — the :class:`~repro.cluster.scheduler.RankCursor` wraps the same
-pipeline as a resumable generator.
+Inside a fleet the replica does not call :meth:`RankReplica.run` directly —
+the :class:`~repro.cluster.scheduler.RankCursor` wraps the same pipeline as
+a resumable generator so the event scheduler can interleave ranks.
+:meth:`RankReplica.run` remains as the direct blocking path for a
+single-replica fleet (nothing to interleave, so no collective can park).
 """
 
 from __future__ import annotations

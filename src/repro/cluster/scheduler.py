@@ -21,9 +21,10 @@ executor as a single-rank replay (:mod:`repro.core.vectorize`): verified
 ``OpProgram`` s batch-price whole op runs, and only collective ops drop to
 the scalar attempt path.  The cursor bodies below intentionally mirror
 ``ExecuteStage.run`` / ``VectorizedExecutor.replay_entries`` statement for
-statement — the differential suite (``tests/test_scheduler_equivalence.py``)
-pins the two engines to byte-identical reports, so any drift between the
-mirrored loops is caught immediately.
+statement — the property suite (``tests/test_property_scheduler.py``) pins
+the engine's reports to the single-rank pipeline and to themselves across
+adversarial schedules, so any drift between the mirrored loops is caught
+immediately.
 
 Retry discipline: a collective op is attempted by simply calling it.  If
 the rendezvous raises :class:`RankBlocked`, the attempt has already consumed
@@ -53,6 +54,26 @@ from repro.torchsim.runtime import Runtime
 #: the runnable list.  Injectable for the insertion-order-independence
 #: property test; ``None`` means FIFO.
 PickFunction = Callable[[List[int], int], int]
+
+
+class ClusterPaused(BaseException):
+    """Control-flow signal: the event scheduler honoured an interrupt
+    request at a scheduling boundary (the top of its run loop — each rank
+    is either finished or parked at a rendezvous, never mid-op).
+
+    A paused cluster replay resumes by deterministic re-execution from
+    scratch: the fleet's virtual-time schedule is a pure function of
+    (traces, config), so the re-run's :class:`ClusterReport` is
+    byte-identical to an uninterrupted one.  Derives from
+    ``BaseException`` so per-job ``except Exception`` error handling cannot
+    mistake a cooperative pause for a failure.
+    """
+
+    def __init__(self, completed_steps: int) -> None:
+        super().__init__(
+            f"cluster replay paused after {completed_steps} scheduler step(s)"
+        )
+        self.completed_steps = completed_steps
 
 
 def _attempt_collective(runtime: Runtime, call: Callable[[], Any]):
@@ -252,7 +273,7 @@ class RankCursor:
     def advance(self) -> RankBlocked:
         """Run until the next park point.  Raises ``StopIteration`` when
         the replica finished; replay errors propagate (and are recorded on
-        the replica, as in the threaded engine)."""
+        the replica, mirroring ``RankReplica.run``)."""
         return next(self._generator)
 
     def close(self) -> None:
@@ -311,8 +332,8 @@ class VirtualTimeScheduler:
     When no cursor is runnable but some are still parked, the fleet's
     collective orders are cross-wired (rank A waits on a collective rank B
     will only reach after one A has not issued) — the rendezvous fails every
-    unresolved slot so the parked cursors error out instead of hanging,
-    mirroring the threaded engine's timeout behaviour.
+    unresolved slot so the parked cursors error out instead of hanging; no
+    wall-clock timeout is needed.
 
     The resolved virtual-time schedule is independent of the pick order
     (each rank's clock advances deterministically between collectives, and
@@ -327,16 +348,22 @@ class VirtualTimeScheduler:
         replicas: Iterable,
         rendezvous: EventRendezvous,
         pick: Optional[PickFunction] = None,
+        interrupt: Optional[Callable[[], bool]] = None,
     ) -> None:
         self.replicas = list(replicas)
         self.rendezvous = rendezvous
         self.pick = pick
+        #: Polled at the top of every scheduling step; a truthy return
+        #: raises :class:`ClusterPaused`.  The ``finally`` block closes all
+        #: outstanding cursors (retiring their ranks from the rendezvous),
+        #: so abandonment is clean and a later re-run starts fresh.
+        self.interrupt = interrupt
 
     # ------------------------------------------------------------------
     def run(self) -> Dict[int, str]:
         """Drive every cursor to completion; returns ``{rank: error}`` for
         replicas that failed (empty dict = clean fleet).  Results land on
-        the replicas, exactly like the threaded engine's pool path."""
+        the replicas themselves."""
         cursors: Dict[int, RankCursor] = {}
         for replica in self.replicas:
             cursors[replica.rank] = RankCursor(replica)
@@ -347,6 +374,8 @@ class VirtualTimeScheduler:
         step = 0
         try:
             while outstanding:
+                if self.interrupt is not None and self.interrupt():
+                    raise ClusterPaused(step)
                 if not runnable:
                     # Every live cursor is parked: cross-wired collective
                     # orders.  Fail the unresolved slots; the woken cursors

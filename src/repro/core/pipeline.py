@@ -55,6 +55,114 @@ class ReplayPipelineError(RuntimeError):
     pipeline finished without producing a result."""
 
 
+class CheckpointError(RuntimeError):
+    """A resume was attempted against a checkpoint that does not match the
+    replay (different trace/config, or the re-executed prefix diverged from
+    the recorded clock fingerprint — the code or inputs changed)."""
+
+
+#: Bumped whenever the serialized checkpoint shape changes; a version
+#: mismatch fails the resume instead of silently misreading the token.
+CHECKPOINT_SCHEMA_VERSION = 1
+
+
+@dataclass
+class ReplayCheckpoint:
+    """Progress token of a paused replay, captured at an iteration boundary.
+
+    Replay is a pure function of (trace, config): the virtual runtime is
+    deterministic, so a paused replay *resumes by re-execution* — the build
+    stages re-run (cheap), the completed warm-up/measured iterations replay
+    again, and the checkpoint's :attr:`clock_fingerprint` (the runtime's
+    :meth:`~repro.torchsim.runtime.Runtime.clock_state` at the pause point)
+    is verified before execution continues.  That discipline is what makes
+    the resumed result **byte-identical** to an uninterrupted run: nothing
+    is approximated or spliced, and any drift (a changed trace, config or
+    cost model) is caught as a :class:`CheckpointError` instead of
+    producing silently different numbers.
+
+    The token is JSON-serialisable (``to_dict``/``from_dict``) so the
+    daemon can snapshot it to disk and resume across process restarts.
+    """
+
+    trace_digest: str
+    config_digest: str
+    completed_warmup: int
+    completed_iterations: int
+    #: ``Runtime.clock_state()`` at the pause boundary, normalised to JSON
+    #: primitives: ``[clocks dict, next node id, next correlation id,
+    #: current thread]``.
+    clock_fingerprint: List[Any] = field(default_factory=list)
+    iteration_times_us: List[float] = field(default_factory=list)
+    replayed_ops: int = 0
+    skipped_ops: int = 0
+    measure_start_us: float = 0.0
+    schema_version: int = CHECKPOINT_SCHEMA_VERSION
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "schema_version": self.schema_version,
+            "trace_digest": self.trace_digest,
+            "config_digest": self.config_digest,
+            "completed_warmup": self.completed_warmup,
+            "completed_iterations": self.completed_iterations,
+            "clock_fingerprint": list(self.clock_fingerprint),
+            "iteration_times_us": list(self.iteration_times_us),
+            "replayed_ops": self.replayed_ops,
+            "skipped_ops": self.skipped_ops,
+            "measure_start_us": self.measure_start_us,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "ReplayCheckpoint":
+        version = int(data.get("schema_version", 0))
+        if version != CHECKPOINT_SCHEMA_VERSION:
+            raise CheckpointError(
+                f"checkpoint schema version {version} does not match this build's "
+                f"{CHECKPOINT_SCHEMA_VERSION}; the job must be re-run from scratch"
+            )
+        return cls(
+            trace_digest=str(data["trace_digest"]),
+            config_digest=str(data["config_digest"]),
+            completed_warmup=int(data["completed_warmup"]),
+            completed_iterations=int(data["completed_iterations"]),
+            clock_fingerprint=list(data.get("clock_fingerprint", [])),
+            iteration_times_us=[float(t) for t in data.get("iteration_times_us", [])],
+            replayed_ops=int(data.get("replayed_ops", 0)),
+            skipped_ops=int(data.get("skipped_ops", 0)),
+            measure_start_us=float(data.get("measure_start_us", 0.0)),
+        )
+
+
+def _clock_fingerprint(runtime: Runtime) -> List[Any]:
+    """``Runtime.clock_state()`` normalised to JSON primitives so the
+    fingerprint survives a ``json.dumps``/``loads`` round-trip intact."""
+    clocks, next_node_id, next_correlation_id, current_thread = runtime.clock_state()
+    return [
+        {str(k): float(v) for k, v in clocks.items()},
+        int(next_node_id),
+        int(next_correlation_id),
+        str(current_thread),
+    ]
+
+
+class ReplayPaused(BaseException):
+    """Control-flow signal: the replay honoured a pause request at an
+    iteration boundary and captured a :class:`ReplayCheckpoint`.
+
+    Derives from ``BaseException`` (like ``KeyboardInterrupt``) so generic
+    job-error handling — e.g. the batch layer's per-job ``except
+    Exception`` — cannot mistake a cooperative pause for a failure.
+    """
+
+    def __init__(self, checkpoint: ReplayCheckpoint) -> None:
+        super().__init__(
+            f"replay paused after {checkpoint.completed_warmup} warm-up and "
+            f"{checkpoint.completed_iterations} measured iteration(s)"
+        )
+        self.checkpoint = checkpoint
+
+
 # ----------------------------------------------------------------------
 # Context
 # ----------------------------------------------------------------------
@@ -258,9 +366,29 @@ class InitCommsStage(ReplayStage):
 
 class ExecuteStage(ReplayStage):
     """Replay the selected operators in the recorded order: warm-up
-    iterations first (unmeasured, unprofiled), then the measured ones."""
+    iterations first (unmeasured, unprofiled), then the measured ones.
+
+    The stage is the pipeline's checkpoint boundary.  ``pause_check`` (a
+    zero-argument callable) is polled at every iteration boundary — the
+    point where all of the iteration's op programs have completed — and a
+    truthy return raises :class:`ReplayPaused` carrying a
+    :class:`ReplayCheckpoint`.  ``resume_from`` replays a previously
+    captured checkpoint: the completed iterations re-execute
+    deterministically and the runtime's clock state is verified against the
+    checkpoint's fingerprint at the recorded boundary (see
+    :class:`ReplayCheckpoint` for why this yields byte-identical results).
+    Both default to ``None``, leaving the stage's behaviour unchanged.
+    """
 
     name = "execute"
+
+    def __init__(
+        self,
+        pause_check: Optional[Any] = None,
+        resume_from: Optional[ReplayCheckpoint] = None,
+    ) -> None:
+        self.pause_check = pause_check
+        self.resume_from = resume_from
 
     def run(self, context: ReplayContext) -> None:
         runtime = context.require("runtime", self)
@@ -268,14 +396,21 @@ class ExecuteStage(ReplayStage):
         context.require("tensor_manager", self)
         context.require("stream_assignment", self)
 
+        if self.resume_from is not None:
+            self._check_resume_inputs(context, self.resume_from)
+
         profiler: Optional[Profiler] = None
         if context.config.profile:
             profiler = runtime.attach_profiler(Profiler())
         context.profiler = profiler
 
+        warmup_total = context.config.warmup_iterations
+        measured_total = max(1, context.config.iterations)
+
         context.measuring = False
-        for _ in range(context.config.warmup_iterations):
+        for index in range(warmup_total):
             self._replay_once(context, runtime)
+            self._boundary(context, runtime, index + 1, 0, warmup_total, measured_total)
 
         if profiler is not None:
             profiler.start()
@@ -284,17 +419,95 @@ class ExecuteStage(ReplayStage):
         context.replayed_ops = 0
         context.skipped_ops = 0
         context.measuring = True
-        for _ in range(max(1, context.config.iterations)):
+        for index in range(measured_total):
             start = runtime.synchronize()
             replayed, skipped = self._replay_once(context, runtime)
             end = runtime.synchronize()
             context.iteration_times_us.append(end - start)
             context.replayed_ops += replayed
             context.skipped_ops += skipped
+            self._boundary(
+                context, runtime, warmup_total, index + 1, warmup_total, measured_total
+            )
         context.measuring = False
         context.measure_end_us = runtime.synchronize()
         if profiler is not None:
             profiler.stop()
+
+    # ------------------------------------------------------------------
+    # Checkpoint boundaries
+    # ------------------------------------------------------------------
+    def _boundary(
+        self,
+        context: ReplayContext,
+        runtime: Runtime,
+        warmup_done: int,
+        measured_done: int,
+        warmup_total: int,
+        measured_total: int,
+    ) -> None:
+        """One iteration boundary: verify a resume fingerprint when this is
+        the resumed checkpoint's position, then honour a pending pause
+        request (never after the final iteration — the replay is done)."""
+        resume = self.resume_from
+        if (
+            resume is not None
+            and warmup_done == resume.completed_warmup
+            and measured_done == resume.completed_iterations
+        ):
+            self._verify_fingerprint(context, runtime, resume)
+        if self.pause_check is None or not self.pause_check():
+            return
+        if warmup_done >= warmup_total and measured_done >= measured_total:
+            return  # all work done; finishing beats pausing
+        raise ReplayPaused(self._capture(context, runtime, warmup_done, measured_done))
+
+    def _capture(
+        self,
+        context: ReplayContext,
+        runtime: Runtime,
+        warmup_done: int,
+        measured_done: int,
+    ) -> ReplayCheckpoint:
+        return ReplayCheckpoint(
+            trace_digest=context.trace.digest(),
+            config_digest=context.config.digest(),
+            completed_warmup=warmup_done,
+            completed_iterations=measured_done,
+            clock_fingerprint=_clock_fingerprint(runtime),
+            iteration_times_us=list(context.iteration_times_us),
+            replayed_ops=context.replayed_ops,
+            skipped_ops=context.skipped_ops,
+            measure_start_us=context.measure_start_us,
+        )
+
+    @staticmethod
+    def _check_resume_inputs(context: ReplayContext, resume: ReplayCheckpoint) -> None:
+        trace_digest = context.trace.digest()
+        if resume.trace_digest and trace_digest != resume.trace_digest:
+            raise CheckpointError(
+                f"checkpoint was captured for trace digest {resume.trace_digest[:12]}…, "
+                f"but the replay is running trace digest {trace_digest[:12]}…"
+            )
+        config_digest = context.config.digest()
+        if resume.config_digest and config_digest != resume.config_digest:
+            raise CheckpointError(
+                "checkpoint was captured under a different ReplayConfig "
+                f"({resume.config_digest[:12]}… vs {config_digest[:12]}…)"
+            )
+
+    @staticmethod
+    def _verify_fingerprint(
+        context: ReplayContext, runtime: Runtime, resume: ReplayCheckpoint
+    ) -> None:
+        current = _clock_fingerprint(runtime)
+        if resume.clock_fingerprint and current != resume.clock_fingerprint:
+            raise CheckpointError(
+                "re-executed replay prefix diverged from the checkpoint's clock "
+                "fingerprint — the trace, config or cost model changed since the "
+                f"pause (checkpoint at warmup={resume.completed_warmup}, "
+                f"iteration={resume.completed_iterations})"
+            )
 
     # ------------------------------------------------------------------
     def _replay_once(self, context: ReplayContext, runtime: Runtime) -> tuple:
@@ -621,12 +834,27 @@ def run_replay(
     hooks: Optional[Sequence[ReplayHook]] = None,
     pipeline: Optional[ReplayPipeline] = None,
     runtime: Optional[Runtime] = None,
+    pause_check: Optional[Any] = None,
+    resume_from: Optional[ReplayCheckpoint] = None,
 ) -> "ReplayResult":
     """One-shot replay of ``trace`` through the (default) stage pipeline.
 
     The convenience wrapper internal consumers share; the fluent public
     entry point is :func:`repro.api.replay`.
+
+    ``pause_check``/``resume_from`` make the replay checkpointable (see
+    :class:`ExecuteStage`): a truthy ``pause_check()`` at an iteration
+    boundary raises :class:`ReplayPaused` with a :class:`ReplayCheckpoint`,
+    and ``resume_from`` continues a previously captured checkpoint by
+    deterministic re-execution.  They configure the execute stage, so they
+    cannot be combined with an explicit ``pipeline``.
     """
+    if (pause_check is not None or resume_from is not None) and pipeline is not None:
+        raise ValueError(
+            "pause_check/resume_from configure the default execute stage and "
+            "cannot be combined with an explicit pipeline; construct the "
+            "pipeline with ExecuteStage(pause_check=..., resume_from=...) instead"
+        )
     context = ReplayContext(
         trace=trace,
         config=config,
@@ -635,7 +863,12 @@ def run_replay(
         runtime=runtime,
         hooks=list(hooks or []),
     )
-    active = pipeline if pipeline is not None else ReplayPipeline.default()
+    if pause_check is not None or resume_from is not None:
+        active = ReplayPipeline.default().replace(
+            "execute", ExecuteStage(pause_check=pause_check, resume_from=resume_from)
+        )
+    else:
+        active = pipeline if pipeline is not None else ReplayPipeline.default()
     return active.run(context)
 
 

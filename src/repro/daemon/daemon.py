@@ -1,0 +1,309 @@
+"""The daemon core: one object tying store, queue, cache and executor.
+
+:class:`ReplayDaemon` is the long-running service behind ``python -m repro
+serve`` — and a perfectly usable in-process object (the test suite drives
+it directly; the HTTP layer in :mod:`repro.daemon.server` is a thin
+wrapper over its public methods).  Responsibilities:
+
+* **Lifecycle** — ``submit`` / ``pause`` / ``resume`` / ``cancel`` apply
+  the job state machine under one lock, write-through to the
+  :class:`~repro.daemon.store.JobStore`, and wake any ``wait``-ers.
+* **Multi-tenant hygiene** — every job belongs to the client that
+  submitted it; operations on someone else's job raise
+  :class:`JobAccessError` (the HTTP layer maps it to 403).  Scheduling is
+  fair across owners (:class:`~repro.daemon.queue.JobQueue`), and the
+  shared :class:`~repro.service.cache.ResultCache` is bounded with
+  LRU+TTL eviction that never touches a running job's pinned inputs.
+* **Restart recovery** — construction replays the store: terminal jobs
+  are served from their records, paused jobs keep their snapshots
+  (resume works across restarts), and jobs that were mid-flight when the
+  process died are requeued.
+
+A replay is a pure function of (trace, config), so everything the daemon
+serves — results, resumed jobs, cache hits — is byte-identical to what an
+uninterrupted inline run would produce.
+"""
+
+from __future__ import annotations
+
+import threading
+from pathlib import Path
+from typing import Any, Dict, List, Optional, Union
+
+from repro.daemon.executor import InflightRegistry, JobControl, JobExecutor, run_job
+from repro.daemon.jobs import (
+    DAEMON_SCHEMA_VERSION,
+    JobRecord,
+    JobSpec,
+    JobStateError,
+    job_sort_key,
+    new_job_id,
+)
+from repro.daemon.queue import JobQueue
+from repro.daemon.store import JobStore
+from repro.service.cache import ResultCache
+from repro.version import __version__
+
+
+class JobAccessError(PermissionError):
+    """The requesting client does not own the job."""
+
+
+class UnknownJobError(KeyError):
+    """No job with the given id."""
+
+    def __str__(self) -> str:  # KeyError repr-quotes its message
+        return self.args[0] if self.args else ""
+
+
+class ReplayDaemon:
+    """The replay service: async job queue over the batch/cluster layers.
+
+    Parameters
+    ----------
+    state_dir:
+        Where job records (and, by default, the result cache) live; the
+        daemon recovers from whatever it finds there.
+    cache_dir / cache_max_entries / cache_ttl_s:
+        Result-cache location and bounds (LRU + TTL; pinned keys of
+        running jobs are never evicted).
+    workers:
+        Executor thread count — concurrent jobs, not concurrent points;
+        each job replays its points serially so it stays pausable.
+    """
+
+    def __init__(
+        self,
+        state_dir: Union[str, Path],
+        cache_dir: Optional[Union[str, Path]] = None,
+        cache_max_entries: Optional[int] = None,
+        cache_ttl_s: Optional[float] = None,
+        workers: int = 2,
+    ) -> None:
+        self.state_dir = Path(state_dir)
+        self.store = JobStore(self.state_dir)
+        self.queue = JobQueue()
+        self.cache = ResultCache(
+            cache_dir if cache_dir is not None else self.state_dir / "cache",
+            max_entries=cache_max_entries,
+            ttl_s=cache_ttl_s,
+        )
+        self.inflight = InflightRegistry()
+        self._lock = threading.RLock()
+        self._changed = threading.Condition(self._lock)
+        self._records: Dict[str, JobRecord] = {}
+        self._controls: Dict[str, JobControl] = {}
+        self._seq = 0
+        self.executor = JobExecutor(self.queue, self._execute, workers=workers)
+        self._recover()
+
+    # ------------------------------------------------------------------
+    def _recover(self) -> None:
+        for record in self.store.recover():
+            self._records[record.id] = record
+            self._seq = max(self._seq, record.seq)
+            if record.state == "queued":
+                self.queue.push(record.priority, record.owner, record.seq, record.id)
+
+    def start(self) -> None:
+        self.executor.start()
+
+    def stop(self) -> None:
+        self.executor.stop()
+
+    def __enter__(self) -> "ReplayDaemon":
+        self.start()
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.stop()
+
+    # ------------------------------------------------------------------
+    # Client operations (the REST surface)
+    # ------------------------------------------------------------------
+    def submit(self, owner: str, spec: JobSpec, priority: int = 0) -> JobRecord:
+        if not owner:
+            raise ValueError("a job must be submitted with a client (owner) id")
+        with self._changed:
+            self._seq += 1
+            record = JobRecord(
+                id=new_job_id(),
+                owner=owner,
+                spec=spec,
+                priority=int(priority),
+                seq=self._seq,
+            )
+            self._records[record.id] = record
+            self.store.save(record)
+            self.queue.push(record.priority, record.owner, record.seq, record.id)
+            self._changed.notify_all()
+            return record
+
+    def get(self, job_id: str, owner: Optional[str] = None) -> JobRecord:
+        """The job record; with ``owner`` given, enforce ownership."""
+        with self._lock:
+            record = self._records.get(job_id)
+            if record is None:
+                raise UnknownJobError(f"no job {job_id!r}")
+            if owner is not None and record.owner != owner:
+                raise JobAccessError(
+                    f"job {job_id} belongs to {record.owner!r}, not {owner!r}"
+                )
+            return record
+
+    def list_jobs(self, owner: Optional[str] = None) -> List[JobRecord]:
+        with self._lock:
+            records = [
+                record
+                for record in self._records.values()
+                if owner is None or record.owner == owner
+            ]
+        return sorted(records, key=job_sort_key)
+
+    def pause(self, job_id: str, owner: Optional[str] = None) -> JobRecord:
+        """Request a pause; acknowledged at the next checkpoint boundary."""
+        with self._changed:
+            record = self.get(job_id, owner)
+            if record.state == "queued":
+                self.queue.remove(job_id)
+                record.transition("paused")
+            elif record.state == "running":
+                control = self._controls.get(job_id)
+                if control is not None:
+                    control.pause.set()
+                record.transition("pausing")
+            elif record.state in ("pausing", "paused"):
+                return record  # idempotent
+            else:
+                raise JobStateError(f"job {job_id} cannot pause from {record.state!r}")
+            self.store.save(record)
+            self._changed.notify_all()
+            return record
+
+    def resume(self, job_id: str, owner: Optional[str] = None) -> JobRecord:
+        """Requeue a paused job; its snapshot rides along, so completed
+        work is never repriced (and works across daemon restarts)."""
+        with self._changed:
+            record = self.get(job_id, owner)
+            if record.state != "paused":
+                raise JobStateError(f"job {job_id} cannot resume from {record.state!r}")
+            record.transition("queued")
+            self._controls.pop(job_id, None)  # fresh flags on the next run
+            self.store.save(record)
+            self.queue.push(record.priority, record.owner, record.seq, record.id)
+            self._changed.notify_all()
+            return record
+
+    def cancel(self, job_id: str, owner: Optional[str] = None) -> JobRecord:
+        with self._changed:
+            record = self.get(job_id, owner)
+            if record.state == "queued":
+                self.queue.remove(job_id)
+                record.transition("cancelled")
+                record.snapshot = None
+                self.store.save(record)
+            elif record.state in ("running", "pausing"):
+                control = self._controls.get(job_id)
+                if control is not None:
+                    control.cancel.set()
+                # State lands on "cancelled" when the replay acknowledges.
+            elif record.state == "paused":
+                record.transition("cancelled")
+                record.snapshot = None
+                self.store.save(record)
+            elif record.state != "cancelled":
+                raise JobStateError(f"job {job_id} cannot cancel from {record.state!r}")
+            self._changed.notify_all()
+            return record
+
+    def result(self, job_id: str, owner: Optional[str] = None) -> Dict[str, Any]:
+        record = self.get(job_id, owner)
+        if record.state != "completed" or record.result is None:
+            raise JobStateError(
+                f"job {job_id} has no result (state: {record.state!r})"
+            )
+        return record.result
+
+    def snapshot_of(self, job_id: str, owner: Optional[str] = None) -> Dict[str, Any]:
+        record = self.get(job_id, owner)
+        if record.snapshot is None:
+            raise JobStateError(
+                f"job {job_id} has no snapshot (state: {record.state!r}; snapshots "
+                "are captured when a pause is acknowledged)"
+            )
+        return record.snapshot
+
+    def health(self) -> Dict[str, Any]:
+        with self._lock:
+            states: Dict[str, int] = {}
+            for record in self._records.values():
+                states[record.state] = states.get(record.state, 0) + 1
+        return {
+            "schema_version": DAEMON_SCHEMA_VERSION,
+            "version": __version__,
+            "jobs": states,
+            "queue_depth": len(self.queue),
+            "queue_by_owner": self.queue.depth_by_owner(),
+            "workers": self.executor.workers,
+            "cache": self.cache.stats(),
+        }
+
+    # ------------------------------------------------------------------
+    def wait(
+        self,
+        job_id: str,
+        timeout: float = 60.0,
+        until: tuple = ("completed", "failed", "cancelled", "paused"),
+    ) -> JobRecord:
+        """Block until the job reaches one of ``until`` (default: any
+        resting state).  Primarily for tests and the synchronous CLI."""
+        deadline = timeout
+        with self._changed:
+            while True:
+                record = self.get(job_id)
+                if record.state in until:
+                    return record
+                if deadline <= 0:
+                    raise TimeoutError(
+                        f"job {job_id} still {record.state!r} after {timeout}s"
+                    )
+                step = min(0.25, deadline)
+                self._changed.wait(timeout=step)
+                deadline -= step
+
+    # ------------------------------------------------------------------
+    # Executor entry point
+    # ------------------------------------------------------------------
+    def _execute(self, job_id: str) -> None:
+        with self._changed:
+            record = self._records.get(job_id)
+            if record is None or record.state != "queued":
+                return  # cancelled/paused while sitting in the queue
+            control = JobControl()
+            self._controls[job_id] = control
+            record.transition("running")
+            self.store.save(record)
+            self._changed.notify_all()
+        status, value = run_job(record, control, self.cache, self.inflight)
+        with self._changed:
+            if status == "completed":
+                record.transition("completed")
+                record.result = value
+                record.snapshot = None
+            elif status == "paused":
+                if record.state == "running":  # pause flag raced the ack
+                    record.transition("pausing")
+                record.transition("paused")
+                record.snapshot = value
+            elif status == "cancelled":
+                record.transition("cancelled")
+                record.snapshot = None
+            else:
+                record.transition("failed")
+                details = value or {}
+                record.error = details.get("error")
+                record.error_type = details.get("error_type")
+                record.traceback = details.get("traceback")
+            self._controls.pop(job_id, None)
+            self.store.save(record)
+            self._changed.notify_all()

@@ -1,0 +1,327 @@
+"""Job execution: worker threads, cooperative pause, exactly-once points.
+
+The executor is where a :class:`~repro.daemon.jobs.JobRecord` meets the
+service layer.  A **sweep** job expands to its grid points
+(:class:`~repro.service.sweep.SweepRunner` — same expansion as the inline
+CLI) and replays them *one point per batch* through a serial
+:class:`~repro.service.batch.BatchReplayer` with a ``pause_check``: that
+is the contract that makes a pause land at an op-program iteration
+boundary with a :class:`~repro.core.pipeline.ReplayCheckpoint` in hand.
+A **cluster** job drives :class:`~repro.cluster.ClusterReplayer` with a
+``scheduler_interrupt``, so its pause lands at a rendezvous/scheduler-step
+boundary (:class:`~repro.cluster.ClusterPaused`); resume re-runs the
+deterministic fleet from scratch, byte-identically.
+
+Multi-tenant guarantees enforced here:
+
+* **Exactly-once pricing** — concurrent jobs that share a (trace, config)
+  point coordinate through the :class:`InflightRegistry`: the first
+  claimant replays, everyone else waits and then reads the result cache.
+  Two clients submitting overlapping sweeps replay each unique point once.
+* **Pinned inputs** — every cache key a running job has touched is
+  :meth:`~repro.service.cache.ResultCache.pin`-ned until the job finishes
+  or pauses, so LRU/TTL eviction can never pull a result out from under a
+  job that already resolved it.
+* **Pause beats neither completion nor correctness** — a pause granted
+  mid-point carries the point's checkpoint in the job snapshot; completed
+  points ride in the snapshot too (with their summaries), so resume never
+  re-prices them even if the cache evicted the entries meanwhile.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Any, Dict, List, Optional, Tuple
+
+from repro.cluster import ClusterPaused, ClusterReplayer
+from repro.core.pipeline import ReplayCheckpoint, ReplayPaused
+from repro.core.replayer import ReplayConfig, ReplayResultSummary
+from repro.daemon.jobs import JobRecord, cluster_snapshot, sweep_snapshot
+from repro.service.batch import BatchReplayer, ReplayJob, _error_details
+from repro.service.cache import ResultCache
+from repro.service.repository import TraceRepository
+from repro.service.sweep import SweepRunner, SweepSpec
+
+#: Executor outcome: (status, value) where status selects the job's next
+#: state — "completed" (value: result payload), "paused" (value: snapshot),
+#: "failed" (value: error-details dict), "cancelled" (value: None).
+Outcome = Tuple[str, Optional[Dict[str, Any]]]
+
+
+class JobControl:
+    """Runtime-only control surface of one job: the pause/cancel flags the
+    replay polls at its checkpoint boundaries."""
+
+    def __init__(self) -> None:
+        self.pause = threading.Event()
+        self.cancel = threading.Event()
+
+    def interrupted(self) -> bool:
+        """The ``pause_check`` / ``scheduler_interrupt`` callable."""
+        return self.pause.is_set() or self.cancel.is_set()
+
+
+class InflightRegistry:
+    """Cross-job registry of cache keys currently being computed.
+
+    ``claim`` either makes the caller the computing owner (returns
+    ``mine=True``) or hands back the owner's completion event to wait on.
+    The owner must ``release`` in a ``finally`` — waiters then re-read the
+    cache (on a computation failure they find a miss and re-claim, so a
+    failed owner cannot wedge its waiters).
+    """
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._events: Dict[str, threading.Event] = {}
+
+    def claim(self, key: str) -> Tuple[threading.Event, bool]:
+        with self._lock:
+            event = self._events.get(key)
+            if event is not None:
+                return event, False
+            event = threading.Event()
+            self._events[key] = event
+            return event, True
+
+    def release(self, key: str) -> None:
+        with self._lock:
+            event = self._events.pop(key, None)
+        if event is not None:
+            event.set()
+
+
+# ----------------------------------------------------------------------
+# Sweep jobs
+# ----------------------------------------------------------------------
+def expand_sweep_points(payload: Dict[str, Any]) -> List[ReplayJob]:
+    """The job's grid points, in deterministic order (same expansion the
+    inline ``repro sweep`` uses)."""
+    spec = SweepSpec(
+        traces=payload.get("traces"),
+        devices=list(payload.get("devices") or ("A100",)),
+        axes={name: list(values) for name, values in (payload.get("axes") or {}).items()},
+        base=ReplayConfig.from_dict(payload.get("base") or {}),
+    )
+    return SweepRunner(TraceRepository(payload["repo"])).jobs_for(spec)
+
+
+def run_sweep_job(
+    record: JobRecord,
+    control: JobControl,
+    cache: Optional[ResultCache],
+    inflight: Optional[InflightRegistry],
+) -> Outcome:
+    """Replay every grid point, honouring a prior snapshot and the control
+    flags; see the module docstring for the guarantees."""
+    try:
+        points = expand_sweep_points(record.spec.payload)
+    except Exception as error:  # noqa: BLE001 - spec errors fail the job
+        return "failed", _error_details(error)
+
+    snapshot = record.snapshot or {}
+    completed: Dict[str, Dict[str, Any]] = dict(snapshot.get("completed") or {})
+    checkpoint_data = snapshot.get("checkpoint")
+    checkpoint_label = snapshot.get("pending_label")
+    pinned: List[str] = []
+    try:
+        for point in points:
+            if point.label in completed:
+                continue
+            if control.cancel.is_set():
+                return "cancelled", None
+            if control.pause.is_set():
+                return "paused", sweep_snapshot(completed, None, None)
+            resume: Optional[ReplayCheckpoint] = None
+            if checkpoint_data is not None and point.label == checkpoint_label:
+                try:
+                    resume = ReplayCheckpoint.from_dict(checkpoint_data)
+                except Exception as error:  # noqa: BLE001 - corrupt snapshot
+                    return "failed", _error_details(error)
+            try:
+                status, value = _run_point(point, control, cache, inflight, resume, pinned)
+            except ReplayPaused as paused:
+                if control.cancel.is_set():
+                    return "cancelled", None
+                return "paused", sweep_snapshot(
+                    completed, point.label, paused.checkpoint.to_dict()
+                )
+            if status == "cancelled":
+                return "cancelled", None
+            if status == "paused":
+                return "paused", sweep_snapshot(completed, None, None)
+            if status == "failed":
+                return "failed", value
+            assert isinstance(value, ReplayResultSummary)
+            completed[point.label] = {
+                "cache_key": point.cache_key,
+                "trace": point.trace_name,
+                "device": point.config.device,
+                "cached": status == "cached",
+                "summary": value.to_dict(),
+            }
+        return "completed", _sweep_result(points, completed)
+    finally:
+        if cache is not None:
+            for key in pinned:
+                cache.unpin(key)
+
+
+def _run_point(
+    point: ReplayJob,
+    control: JobControl,
+    cache: Optional[ResultCache],
+    inflight: Optional[InflightRegistry],
+    resume: Optional[ReplayCheckpoint],
+    pinned: List[str],
+) -> Tuple[str, Any]:
+    """One grid point: cache, then in-flight coordination, then replay.
+
+    Returns ("cached" | "replayed", summary), ("failed", error details),
+    ("cancelled" | "paused", None) — or raises
+    :class:`~repro.core.pipeline.ReplayPaused` from inside the replay.
+    """
+    key = point.cache_key
+    if cache is not None and key not in pinned:
+        cache.pin(key)
+        pinned.append(key)
+    while True:
+        if cache is not None:
+            summary = cache.get(key)
+            if summary is not None:
+                return "cached", summary
+        if inflight is None:
+            event, mine = None, True
+        else:
+            event, mine = inflight.claim(key)
+        if not mine:
+            # Another job is pricing this exact point; wait for it, but
+            # keep honouring our own pause/cancel while parked.
+            assert event is not None
+            while not event.wait(timeout=0.05):
+                if control.cancel.is_set():
+                    return "cancelled", None
+                if control.pause.is_set():
+                    return "paused", None
+            continue  # owner released: re-read the cache
+        try:
+            replayer = BatchReplayer(
+                cache=cache, backend="serial", pause_check=control.interrupted
+            )
+            batch = replayer.run(
+                [point], resume_from={point.label: resume} if resume is not None else None
+            )
+        finally:
+            if inflight is not None:
+                inflight.release(key)
+        (result,) = list(batch)
+        if not result.ok:
+            return "failed", {
+                "error": result.error,
+                "error_type": result.error_type,
+                "traceback": result.traceback,
+            }
+        return ("cached" if result.cached else "replayed"), result.summary
+
+
+def _sweep_result(
+    points: List[ReplayJob], completed: Dict[str, Dict[str, Any]]
+) -> Dict[str, Any]:
+    """The completed job's result payload, rows in grid order."""
+    rows = [
+        {
+            "label": point.label,
+            "trace": completed[point.label]["trace"],
+            "device": completed[point.label]["device"],
+            "cached": completed[point.label]["cached"],
+            "cache_key": completed[point.label]["cache_key"],
+            "summary": completed[point.label]["summary"],
+        }
+        for point in points
+    ]
+    cached = sum(1 for row in rows if row["cached"])
+    return {
+        "kind": "sweep",
+        "points": rows,
+        "total": len(rows),
+        "cached": cached,
+        "replayed": len(rows) - cached,
+    }
+
+
+# ----------------------------------------------------------------------
+# Cluster jobs
+# ----------------------------------------------------------------------
+def run_cluster_job(record: JobRecord, control: JobControl) -> Outcome:
+    """Co-replay a fleet; pause lands at a scheduler-step boundary and
+    resume re-runs from scratch (deterministic, so byte-identical)."""
+    payload = record.spec.payload
+    try:
+        config = ReplayConfig.from_dict(payload.get("config") or {})
+        replayer = ClusterReplayer(config)
+        replayer.scheduler_interrupt = control.interrupted
+        fleet = ClusterReplayer.load_fleet(payload["trace_dir"])
+    except Exception as error:  # noqa: BLE001
+        return "failed", _error_details(error)
+    try:
+        report = replayer.replay(fleet)
+    except ClusterPaused as paused:
+        if control.cancel.is_set():
+            return "cancelled", None
+        return "paused", cluster_snapshot(paused.completed_steps)
+    except Exception as error:  # noqa: BLE001
+        return "failed", _error_details(error)
+    return "completed", {"kind": "cluster", "report": report.to_dict()}
+
+
+def run_job(
+    record: JobRecord,
+    control: JobControl,
+    cache: Optional[ResultCache],
+    inflight: Optional[InflightRegistry],
+) -> Outcome:
+    """Dispatch on the job kind."""
+    if record.spec.kind == "sweep":
+        return run_sweep_job(record, control, cache, inflight)
+    return run_cluster_job(record, control)
+
+
+# ----------------------------------------------------------------------
+# Worker pool
+# ----------------------------------------------------------------------
+class JobExecutor:
+    """Worker threads draining the daemon's queue.
+
+    The threads only pop ids and hand them to ``execute`` (the daemon's
+    transition-managing entry point); all job state lives there.
+    """
+
+    def __init__(self, queue, execute, workers: int = 2) -> None:
+        self.queue = queue
+        self.execute = execute
+        self.workers = max(1, int(workers))
+        self._threads: List[threading.Thread] = []
+        self._stop = threading.Event()
+
+    def start(self) -> None:
+        if self._threads:
+            return
+        for index in range(self.workers):
+            thread = threading.Thread(
+                target=self._loop, name=f"repro-daemon-worker-{index}", daemon=True
+            )
+            thread.start()
+            self._threads.append(thread)
+
+    def _loop(self) -> None:
+        while not self._stop.is_set():
+            job_id = self.queue.pop(timeout=0.2)
+            if job_id is not None:
+                self.execute(job_id)
+
+    def stop(self, timeout: float = 5.0) -> None:
+        self._stop.set()
+        self.queue.close()
+        for thread in self._threads:
+            thread.join(timeout=timeout)
+        self._threads = []

@@ -1,0 +1,225 @@
+"""REST/JSON API over :class:`~repro.daemon.daemon.ReplayDaemon`.
+
+Stdlib only (``http.server``) — the daemon must run wherever the replayer
+runs, with no framework dependency.  The handler is a thin translation
+layer: parse the route, call the daemon method, serialise the outcome via
+:mod:`repro.service.serialize` (the same builders the CLI's ``--json``
+mode uses, so payload shapes stay in one place).
+
+Routes::
+
+    GET  /health                 daemon + queue + cache stats
+    GET  /jobs                   the caller's jobs (``?all=1``: everyone's)
+    POST /jobs                   submit {"spec": {...}, "priority": n}
+    GET  /jobs/<id>              job status
+    GET  /jobs/<id>/result       completed job's result body
+    GET  /jobs/<id>/snapshot     paused job's resume snapshot
+    POST /jobs/<id>/pause        request a checkpoint-boundary pause
+    POST /jobs/<id>/resume       requeue a paused job
+    POST /jobs/<id>/cancel       cancel (cooperative when running)
+
+The caller identifies itself with the ``X-Repro-Client`` header; every
+job-specific route enforces ownership (403 on someone else's job).
+Errors map onto status codes: 400 malformed request / illegal state, 403
+not the owner, 404 unknown job or route, always with a JSON body
+``{"error": ..., "error_type": ...}``.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from typing import Any, Dict, Optional, Tuple
+
+from repro.daemon.daemon import JobAccessError, ReplayDaemon, UnknownJobError
+from repro.daemon.jobs import JobSpec, JobStateError
+from repro.service import serialize
+
+#: Default bind for ``python -m repro serve`` and the client CLI.
+DEFAULT_HOST = "127.0.0.1"
+DEFAULT_PORT = 8642
+
+#: Header carrying the client (owner) identity.
+CLIENT_HEADER = "X-Repro-Client"
+
+#: Job actions POST /jobs/<id>/<action> may name.
+_ACTIONS = ("pause", "resume", "cancel")
+
+
+class DaemonRequestHandler(BaseHTTPRequestHandler):
+    """One HTTP request -> one daemon call."""
+
+    server_version = "repro-daemon"
+    protocol_version = "HTTP/1.1"
+
+    # The ThreadingHTTPServer subclass below attaches the daemon here.
+    @property
+    def daemon_obj(self) -> ReplayDaemon:
+        return self.server.replay_daemon  # type: ignore[attr-defined]
+
+    def log_message(self, format: str, *args: Any) -> None:  # noqa: A002
+        if getattr(self.server, "verbose", False):
+            super().log_message(format, *args)
+
+    # ------------------------------------------------------------------
+    def _owner(self) -> str:
+        return self.headers.get(CLIENT_HEADER, "").strip() or "anonymous"
+
+    def _reply(self, status: int, payload: Any) -> None:
+        body = serialize.dumps(payload).encode("utf-8")
+        self.send_response(status)
+        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Length", str(len(body)))
+        self.end_headers()
+        self.wfile.write(body)
+
+    def _error(self, status: int, error: BaseException) -> None:
+        self._reply(
+            status, {"error": str(error), "error_type": type(error).__name__}
+        )
+
+    def _read_body(self) -> Dict[str, Any]:
+        length = int(self.headers.get("Content-Length") or 0)
+        if length <= 0:
+            return {}
+        data = json.loads(self.rfile.read(length).decode("utf-8"))
+        if not isinstance(data, dict):
+            raise ValueError("request body must be a JSON object")
+        return data
+
+    def _route(self) -> Tuple[str, Optional[str], Optional[str]]:
+        """Split the path into (head, job_id, action)."""
+        path = self.path.split("?", 1)[0]
+        parts = [part for part in path.split("/") if part]
+        head = parts[0] if parts else ""
+        job_id = parts[1] if len(parts) > 1 else None
+        action = parts[2] if len(parts) > 2 else None
+        return head, job_id, action
+
+    def _wants_all(self) -> bool:
+        query = self.path.split("?", 1)[1] if "?" in self.path else ""
+        return any(part in ("all=1", "all=true") for part in query.split("&"))
+
+    # ------------------------------------------------------------------
+    def do_GET(self) -> None:  # noqa: N802 - http.server API
+        head, job_id, action = self._route()
+        try:
+            if head == "health" and job_id is None:
+                self._reply(200, serialize.daemon_health_payload(self.daemon_obj.health()))
+            elif head == "jobs" and job_id is None:
+                owner = None if self._wants_all() else self._owner()
+                self._reply(
+                    200, serialize.job_list_payload(self.daemon_obj.list_jobs(owner))
+                )
+            elif head == "jobs" and action is None:
+                record = self.daemon_obj.get(job_id, self._owner())
+                self._reply(200, serialize.job_payload(record))
+            elif head == "jobs" and action == "result":
+                record = self.daemon_obj.get(job_id, self._owner())
+                self.daemon_obj.result(job_id)  # state check
+                self._reply(200, serialize.job_result_payload(record))
+            elif head == "jobs" and action == "snapshot":
+                record = self.daemon_obj.get(job_id, self._owner())
+                self.daemon_obj.snapshot_of(job_id)  # state check
+                self._reply(200, serialize.snapshot_payload(record))
+            else:
+                self._reply(404, {"error": f"no route {self.path!r}", "error_type": "LookupError"})
+        except UnknownJobError as error:
+            self._error(404, error)
+        except JobAccessError as error:
+            self._error(403, error)
+        except (JobStateError, ValueError) as error:
+            self._error(400, error)
+
+    def do_POST(self) -> None:  # noqa: N802 - http.server API
+        head, job_id, action = self._route()
+        try:
+            if head == "jobs" and job_id is None:
+                body = self._read_body()
+                spec = JobSpec.from_dict(body.get("spec") or {})
+                record = self.daemon_obj.submit(
+                    self._owner(), spec, priority=int(body.get("priority") or 0)
+                )
+                self._reply(201, serialize.job_payload(record))
+            elif head == "jobs" and action in _ACTIONS:
+                method = getattr(self.daemon_obj, action)
+                record = method(job_id, self._owner())
+                self._reply(200, serialize.job_payload(record))
+            else:
+                self._reply(404, {"error": f"no route {self.path!r}", "error_type": "LookupError"})
+        except UnknownJobError as error:
+            self._error(404, error)
+        except JobAccessError as error:
+            self._error(403, error)
+        except (JobStateError, KeyError, TypeError, ValueError, json.JSONDecodeError) as error:
+            self._error(400, error)
+
+
+class DaemonServer:
+    """The daemon plus its HTTP front-end, as one start/stoppable unit.
+
+    ``port=0`` binds an ephemeral port (tests); the bound address is
+    available as :attr:`address` after construction.
+    """
+
+    def __init__(
+        self,
+        daemon: ReplayDaemon,
+        host: str = DEFAULT_HOST,
+        port: int = DEFAULT_PORT,
+        verbose: bool = False,
+    ) -> None:
+        self.daemon = daemon
+        self.httpd = ThreadingHTTPServer((host, port), DaemonRequestHandler)
+        self.httpd.replay_daemon = daemon  # type: ignore[attr-defined]
+        self.httpd.verbose = verbose  # type: ignore[attr-defined]
+        self.httpd.daemon_threads = True
+        self._thread: Optional[threading.Thread] = None
+
+    @property
+    def address(self) -> Tuple[str, int]:
+        host, port = self.httpd.server_address[:2]
+        return str(host), int(port)
+
+    @property
+    def url(self) -> str:
+        host, port = self.address
+        return f"http://{host}:{port}"
+
+    # ------------------------------------------------------------------
+    def start(self) -> None:
+        self.daemon.start()
+        self._thread = threading.Thread(
+            target=self.httpd.serve_forever,
+            kwargs={"poll_interval": 0.1},
+            name="repro-daemon-http",
+            daemon=True,
+        )
+        self._thread.start()
+
+    def stop(self) -> None:
+        self.httpd.shutdown()
+        self.httpd.server_close()
+        if self._thread is not None:
+            self._thread.join(timeout=5.0)
+            self._thread = None
+        self.daemon.stop()
+
+    def __enter__(self) -> "DaemonServer":
+        self.start()
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.stop()
+
+    def serve_forever(self) -> None:
+        """Foreground mode for ``python -m repro serve``."""
+        self.daemon.start()
+        try:
+            self.httpd.serve_forever(poll_interval=0.2)
+        except KeyboardInterrupt:
+            pass
+        finally:
+            self.httpd.server_close()
+            self.daemon.stop()

@@ -21,20 +21,29 @@ supported:
 Every worker verifies that the digest of the trace it actually loaded
 matches the digest recorded at discovery time, so a trace file rewritten
 between discovery and execution fails the job instead of poisoning the
-result cache.  A failing job is captured as an error string on its
-:class:`ReplayJobResult` rather than aborting the whole batch.
+result cache.  A failing job is captured on its :class:`ReplayJobResult`
+— message, exception type and full traceback — rather than aborting the
+whole batch.
+
+The serial backend is additionally *checkpointable*: ``pause_check`` and
+per-job resume checkpoints thread straight through to
+:func:`repro.core.pipeline.run_replay`, and a granted pause propagates as
+:class:`~repro.core.pipeline.ReplayPaused` (a ``BaseException``, so the
+per-job error handling cannot mistake it for a failure).  The daemon's
+executor builds on exactly this path.
 """
 
 from __future__ import annotations
 
 import os
 import time
+import traceback as traceback_module
 from concurrent.futures import Future, ProcessPoolExecutor, ThreadPoolExecutor
 from dataclasses import dataclass, field
 from pathlib import Path
-from typing import Any, Dict, List, Optional, Sequence, Union
+from typing import Any, Dict, List, Mapping, Optional, Sequence, Union
 
-from repro.core.pipeline import run_replay
+from repro.core.pipeline import ReplayCheckpoint, run_replay
 from repro.core.replayer import ReplayConfig, ReplayResultSummary
 from repro.et.trace import ExecutionTrace
 from repro.service.cache import ResultCache, cache_key
@@ -87,12 +96,20 @@ class ReplayJob:
 @dataclass
 class ReplayJobResult:
     """Outcome of one job: a summary (from cache or a fresh replay) or an
-    error message."""
+    error.
+
+    A failed job records the one-line ``error`` message plus the exception
+    class name (``error_type``) and the full formatted ``traceback`` —
+    enough to debug a worker failure from a ``--json`` report or the
+    daemon's job-status payload without re-running the job.
+    """
 
     job: ReplayJob
     summary: Optional[ReplayResultSummary] = None
     cached: bool = False
     error: Optional[str] = None
+    error_type: Optional[str] = None
+    traceback: Optional[str] = None
     duration_s: float = 0.0
 
     @property
@@ -128,17 +145,36 @@ class BatchResult:
         return {r.job.label: r.error or "" for r in self.results if not r.ok}
 
 
-def _replay_trace(trace: ExecutionTrace, config_dict: Dict[str, Any]) -> Dict[str, Any]:
+def _replay_trace(
+    trace: ExecutionTrace,
+    config_dict: Dict[str, Any],
+    pause_check: Optional[Any] = None,
+    resume_from: Optional[ReplayCheckpoint] = None,
+) -> Dict[str, Any]:
     """Replay an already-loaded trace and return the summary payload."""
     start = time.perf_counter()
     config = ReplayConfig.from_dict(config_dict)
-    result = run_replay(trace, config=config)
+    result = run_replay(trace, config=config, pause_check=pause_check, resume_from=resume_from)
     return {"summary": result.summarize().to_dict(), "duration_s": time.perf_counter() - start}
 
 
 def _format_error(error: BaseException) -> str:
     """Uniform job-error string across backends and failure points."""
     return f"{type(error).__name__}: {error}"
+
+
+def _error_details(error: BaseException) -> Dict[str, str]:
+    """``error``/``error_type``/``traceback`` keys for a failed job.
+
+    ``format_exception`` walks the ``__cause__`` chain, so process-pool
+    failures — surfaced by ``concurrent.futures`` with the worker's remote
+    traceback attached as the cause — keep the original frames.
+    """
+    return {
+        "error": _format_error(error),
+        "error_type": type(error).__name__,
+        "traceback": "".join(traceback_module.format_exception(error)),
+    }
 
 
 class TraceChangedError(RuntimeError):
@@ -178,16 +214,38 @@ class BatchReplayer:
         cache: Optional[ResultCache] = None,
         max_workers: Optional[int] = None,
         backend: str = "thread",
+        pause_check: Optional[Any] = None,
     ) -> None:
         if backend not in BACKENDS:
             raise ValueError(f"unknown backend {backend!r}; choose from {BACKENDS}")
+        if pause_check is not None and backend != "serial":
+            raise ValueError(
+                "pause_check requires the serial backend — cooperative pause has "
+                f"no meaning for jobs already shipped to a {backend!r} pool"
+            )
         self.cache = cache
         self.backend = backend
+        self.pause_check = pause_check
         self.max_workers = max_workers if max_workers is not None else min(8, os.cpu_count() or 1)
 
     # ------------------------------------------------------------------
-    def run(self, jobs: Sequence[ReplayJob]) -> BatchResult:
-        """Execute every job, serving cache hits without replaying."""
+    def run(
+        self,
+        jobs: Sequence[ReplayJob],
+        resume_from: Optional[Mapping[str, ReplayCheckpoint]] = None,
+    ) -> BatchResult:
+        """Execute every job, serving cache hits without replaying.
+
+        ``resume_from`` maps job labels to previously captured
+        :class:`~repro.core.pipeline.ReplayCheckpoint` tokens (serial
+        backend only); a matching job resumes from its checkpoint by
+        deterministic re-execution instead of starting over.  A granted
+        pause propagates as :class:`~repro.core.pipeline.ReplayPaused`,
+        aborting the rest of the batch — callers that pause run one job
+        per batch (as the daemon's executor does).
+        """
+        if resume_from and self.backend != "serial":
+            raise ValueError("resume_from requires the serial backend")
         results: List[Optional[ReplayJobResult]] = [None] * len(jobs)
         pending: List[int] = []
 
@@ -203,7 +261,7 @@ class BatchReplayer:
             if self.backend == "process":
                 self._run_in_processes(jobs, pending, results)
             else:
-                self._run_in_threads_or_serial(jobs, pending, results)
+                self._run_in_threads_or_serial(jobs, pending, results, resume_from or {})
 
         batch = BatchResult(results=[result for result in results if result is not None])
         if self.cache is not None:
@@ -238,13 +296,17 @@ class BatchReplayer:
                 results[index] = self._collect(jobs[index], future)
 
     def _run_in_threads_or_serial(
-        self, jobs: Sequence[ReplayJob], pending: List[int], results: List[Optional[ReplayJobResult]]
+        self,
+        jobs: Sequence[ReplayJob],
+        pending: List[int],
+        results: List[Optional[ReplayJobResult]],
+        resume_from: Mapping[str, ReplayCheckpoint],
     ) -> None:
         """Load and digest-check each unique trace once, then replay in
         process (the trace is only read during replay, so sharing is safe)."""
         traces: Dict[str, ExecutionTrace] = {}
         digests: Dict[str, str] = {}
-        load_errors: Dict[str, str] = {}
+        load_errors: Dict[str, Dict[str, str]] = {}
         runnable: List[int] = []
         for index in pending:
             job = jobs[index]
@@ -254,11 +316,13 @@ class BatchReplayer:
                     traces[path] = ExecutionTrace.load(path)
                     digests[path] = traces[path].digest()
                 except Exception as error:  # noqa: BLE001
-                    load_errors[path] = _format_error(error)
+                    load_errors[path] = _error_details(error)
             if path in load_errors:
-                results[index] = ReplayJobResult(job=job, error=load_errors[path])
+                results[index] = ReplayJobResult(job=job, **load_errors[path])
             elif job.trace_digest and job.trace_digest != digests[path]:
-                results[index] = ReplayJobResult(job=job, error=_format_error(TraceChangedError(path)))
+                results[index] = ReplayJobResult(
+                    job=job, **_error_details(TraceChangedError(path))
+                )
             else:
                 runnable.append(index)
 
@@ -266,9 +330,14 @@ class BatchReplayer:
             for index in runnable:
                 job = jobs[index]
                 try:
-                    payload = _replay_trace(traces[str(job.trace_path)], job.config.to_dict())
+                    payload = _replay_trace(
+                        traces[str(job.trace_path)],
+                        job.config.to_dict(),
+                        pause_check=self.pause_check,
+                        resume_from=resume_from.get(job.label),
+                    )
                 except Exception as error:  # noqa: BLE001 - jobs must not kill the batch
-                    results[index] = ReplayJobResult(job=job, error=_format_error(error))
+                    results[index] = ReplayJobResult(job=job, **_error_details(error))
                 else:
                     results[index] = self._from_payload(job, payload)
             return
@@ -287,7 +356,7 @@ class BatchReplayer:
         try:
             payload = future.result()
         except Exception as error:  # noqa: BLE001
-            return ReplayJobResult(job=job, error=_format_error(error))
+            return ReplayJobResult(job=job, **_error_details(error))
         return self._from_payload(job, payload)
 
     @staticmethod

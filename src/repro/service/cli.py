@@ -32,6 +32,14 @@ Seven subcommands drive the service layer:
     Print the package version (also ``repro --version``), so batch logs
     are attributable to a build.
 
+A second family of subcommands drives the replay daemon
+(:mod:`repro.daemon`, see ``docs/daemon.md``): ``serve`` runs the
+long-lived multi-tenant service, and ``submit`` / ``status`` /
+``result`` / ``cancel`` / ``pause`` / ``resume`` / ``snapshot`` are the
+client verbs talking to it over its REST/JSON API (``--url``,
+identifying themselves with ``--client``).  Client verbs always print
+JSON — they are thin mirrors of the API payloads.
+
 Replays are executed through the :mod:`repro.api` facade (and therefore
 the stage pipeline); ``--iterations``/``--warmup`` pass straight through
 to the :class:`~repro.core.replayer.ReplayConfig` every job runs under.
@@ -50,6 +58,11 @@ Examples
         --power-limit 250 --power-limit 400 --cache .repro-cache --workers 4
     python -m repro profile --repo traces/ --trace rm_et -n 5 --top 10
     python -m repro version
+    python -m repro serve --state-dir .repro-daemon --port 8642
+    python -m repro submit sweep --repo traces/ --device A100 --power-limit 250 \\
+        --client alice --wait
+    python -m repro pause JOB_ID --client alice && python -m repro snapshot JOB_ID \\
+        --client alice
 
 Every command exits 0 on success, 1 when any job failed (or, for
 ``memory-report``, any trace did not fit), and 2 on usage errors
@@ -59,6 +72,7 @@ Every command exits 0 on success, 1 when any job failed (or, for
 from __future__ import annotations
 
 import argparse
+import os
 import sys
 from typing import Dict, List, Optional, Sequence
 
@@ -126,11 +140,6 @@ def build_parser() -> argparse.ArgumentParser:
         choices=("flat", "nvlink-island", "rail-spine"),
         help="hierarchical fabric preset pricing the collectives "
              "(flat | nvlink-island | rail-spine; default: flat)",
-    )
-    dist_parser.add_argument(
-        "--engine", default="event", choices=("event", "threaded"),
-        help="cluster engine: the event-driven scheduler (default) or the "
-             "legacy thread-per-rank oracle",
     )
     dist_parser.add_argument(
         "--timeout", type=float, default=60.0, metavar="SECONDS",
@@ -208,7 +217,131 @@ def build_parser() -> argparse.ArgumentParser:
     version_parser = subparsers.add_parser("version", help="print the package version")
     version_parser.add_argument("--json", action="store_true", help="emit JSON")
 
+    _add_daemon_parsers(subparsers)
+
     return parser
+
+
+def _add_daemon_parsers(subparsers) -> None:
+    """The daemon family: ``serve`` plus the client verbs."""
+    serve_parser = subparsers.add_parser(
+        "serve", help="run the persistent multi-tenant replay daemon"
+    )
+    serve_parser.add_argument(
+        "--state-dir", default=".repro-daemon", metavar="DIR",
+        help="job records, snapshots and (by default) the result cache live "
+             "here; the daemon recovers from it on restart (default: .repro-daemon)",
+    )
+    serve_parser.add_argument("--host", default=None, help="bind address (default: 127.0.0.1)")
+    serve_parser.add_argument("--port", type=int, default=None, help="bind port (default: 8642)")
+    serve_parser.add_argument(
+        "--workers", type=int, default=2, metavar="N",
+        help="concurrent jobs (each job replays its points serially so it "
+             "stays pausable; default: 2)",
+    )
+    serve_parser.add_argument(
+        "--cache", default=None, metavar="DIR",
+        help="result-cache directory (default: <state-dir>/cache)",
+    )
+    serve_parser.add_argument(
+        "--cache-max-entries", type=int, default=None, metavar="N",
+        help="LRU bound on cached results (default: unbounded)",
+    )
+    serve_parser.add_argument(
+        "--cache-ttl", type=float, default=None, metavar="SECONDS",
+        help="expire cached results older than this (default: never)",
+    )
+    serve_parser.add_argument(
+        "--verbose", action="store_true", help="log every HTTP request"
+    )
+
+    submit_parser = subparsers.add_parser(
+        "submit", help="submit a job to the replay daemon"
+    )
+    kind_parsers = submit_parser.add_subparsers(dest="job_kind", required=True)
+
+    sweep_job = kind_parsers.add_parser(
+        "sweep", help="a sweep job (same grid as the inline `repro sweep`)"
+    )
+    _add_submit_arguments(sweep_job)
+    _add_repo_argument(sweep_job)
+    sweep_job.add_argument(
+        "--trace", action="append", default=None, metavar="NAME",
+        help="trace name to include (repeatable; default: every trace in the repo)",
+    )
+    sweep_job.add_argument(
+        "--device", action="append", default=None, metavar="NAME",
+        help="device to sweep over (repeatable; default: A100)",
+    )
+    sweep_job.add_argument(
+        "--power-limit", action="append", default=None, type=float, metavar="WATTS",
+        help="power-limit axis value (repeatable)",
+    )
+    sweep_job.add_argument(
+        "--comm-delay-scale", action="append", default=None, type=float, metavar="FACTOR",
+        help="communication-delay scale axis value (repeatable)",
+    )
+    _add_config_arguments(sweep_job)
+
+    cluster_job = kind_parsers.add_parser(
+        "cluster", help="a fleet co-replay job (same engine as `repro replay-dist`)"
+    )
+    _add_submit_arguments(cluster_job)
+    cluster_job.add_argument(
+        "trace_dir", metavar="TRACE_DIR",
+        help="directory holding one serialised execution trace per rank",
+    )
+    cluster_job.add_argument("--device", default="A100", help="device spec name (default: A100)")
+    _add_config_arguments(cluster_job)
+
+    status_parser = subparsers.add_parser(
+        "status", help="show one job, or list your jobs on the daemon"
+    )
+    _add_client_arguments(status_parser)
+    status_parser.add_argument(
+        "job_id", nargs="?", default=None, metavar="JOB_ID",
+        help="job to show (default: list your jobs)",
+    )
+    status_parser.add_argument(
+        "--all", action="store_true", help="when listing, include every client's jobs"
+    )
+
+    for verb, help_text in (
+        ("result", "fetch a completed job's result"),
+        ("snapshot", "fetch a paused job's resume snapshot"),
+        ("pause", "pause a job at its next checkpoint boundary"),
+        ("resume", "requeue a paused job (completed work is not repriced)"),
+        ("cancel", "cancel a job (cooperative when running)"),
+    ):
+        verb_parser = subparsers.add_parser(verb, help=help_text)
+        _add_client_arguments(verb_parser)
+        verb_parser.add_argument("job_id", metavar="JOB_ID")
+
+
+def _add_submit_arguments(parser: argparse.ArgumentParser) -> None:
+    """Client identity plus submit-only flags, on each job-kind parser."""
+    _add_client_arguments(parser)
+    parser.add_argument(
+        "--priority", type=int, default=0,
+        help="dispatch priority; higher runs first (default: 0)",
+    )
+    parser.add_argument(
+        "--wait", action="store_true",
+        help="block until the job reaches a resting state, then print it",
+    )
+
+
+def _add_client_arguments(parser: argparse.ArgumentParser) -> None:
+    from repro.daemon.client import DEFAULT_URL
+
+    parser.add_argument(
+        "--url", default=DEFAULT_URL, metavar="URL",
+        help=f"daemon base URL (default: {DEFAULT_URL})",
+    )
+    parser.add_argument(
+        "--client", default=os.environ.get("REPRO_CLIENT", "anonymous"), metavar="ID",
+        help="client identity jobs are owned by ($REPRO_CLIENT or 'anonymous')",
+    )
 
 
 def _add_repo_argument(parser: argparse.ArgumentParser) -> None:
@@ -318,7 +451,6 @@ def _cmd_replay_dist(args: argparse.Namespace) -> int:
         .iterations(args.iterations, warmup=args.warmup)
         .timeout(args.timeout)
     )
-    session.engine(args.engine)
     if args.world is not None:
         session.world(args.world)
     if args.topology is not None:
@@ -547,6 +679,97 @@ def _format_cluster_memory(report) -> str:
     return f"{table}\n{summary}"
 
 
+# ----------------------------------------------------------------------
+# Daemon subcommands
+# ----------------------------------------------------------------------
+def _cmd_serve(args: argparse.Namespace) -> int:
+    from repro.daemon.daemon import ReplayDaemon
+    from repro.daemon.server import DEFAULT_HOST, DEFAULT_PORT, DaemonServer
+
+    daemon = ReplayDaemon(
+        args.state_dir,
+        cache_dir=args.cache,
+        cache_max_entries=args.cache_max_entries,
+        cache_ttl_s=args.cache_ttl,
+        workers=args.workers,
+    )
+    server = DaemonServer(
+        daemon,
+        host=args.host if args.host is not None else DEFAULT_HOST,
+        port=args.port if args.port is not None else DEFAULT_PORT,
+        verbose=args.verbose,
+    )
+    host, port = server.address
+    print(f"repro daemon listening on http://{host}:{port} "
+          f"(state: {daemon.state_dir}, workers: {args.workers})", file=sys.stderr)
+    server.serve_forever()
+    return 0
+
+
+def _daemon_client(args: argparse.Namespace):
+    from repro.daemon.client import DaemonClient
+
+    return DaemonClient(url=args.url, client_id=args.client)
+
+
+def _submit_payload(args: argparse.Namespace) -> dict:
+    """Build the JobSpec payload from the submit sub-subcommand's flags —
+    the same shapes the inline ``sweep`` / ``replay-dist`` paths use."""
+    base = {"iterations": args.iterations, "warmup_iterations": args.warmup}
+    if args.job_kind == "sweep":
+        axes = {}
+        if args.power_limit:
+            axes["power_limit_w"] = list(args.power_limit)
+        if args.comm_delay_scale:
+            axes["comm_delay_scale"] = list(args.comm_delay_scale)
+        return {
+            "repo": args.repo,
+            "traces": args.trace,
+            "devices": args.device or ["A100"],
+            "axes": axes,
+            "base": base,
+        }
+    return {
+        "trace_dir": args.trace_dir,
+        "config": dict(base, device=args.device),
+    }
+
+
+def _cmd_submit(args: argparse.Namespace) -> int:
+    from repro.daemon.client import DaemonClientError
+
+    client = _daemon_client(args)
+    try:
+        status = client.submit(args.job_kind, _submit_payload(args), priority=args.priority)
+        if args.wait:
+            status = client.wait(status["id"])
+        print(serialize.dumps(status))
+    except (DaemonClientError, TimeoutError) as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 1
+    return 1 if status.get("state") == "failed" else 0
+
+
+def _cmd_daemon_verb(args: argparse.Namespace) -> int:
+    """status/result/snapshot/pause/resume/cancel — thin API mirrors."""
+    from repro.daemon.client import DaemonClientError
+
+    client = _daemon_client(args)
+    try:
+        if args.command == "status":
+            if args.job_id is None:
+                payload = client.list_jobs(all_owners=args.all)
+            else:
+                payload = client.status(args.job_id)
+        else:
+            payload = getattr(client, args.command)(args.job_id)
+    except DaemonClientError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 1
+    print(serialize.dumps(payload))
+    return 0
+
+
 def main(argv: Optional[Sequence[str]] = None) -> int:
     """CLI entry point; returns the process exit code."""
     parser = build_parser()
@@ -563,6 +786,14 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         "sweep": _cmd_sweep,
         "profile": _cmd_profile,
         "version": _cmd_version,
+        "serve": _cmd_serve,
+        "submit": _cmd_submit,
+        "status": _cmd_daemon_verb,
+        "result": _cmd_daemon_verb,
+        "snapshot": _cmd_daemon_verb,
+        "pause": _cmd_daemon_verb,
+        "resume": _cmd_daemon_verb,
+        "cancel": _cmd_daemon_verb,
     }
     return handlers[args.command](args)
 

@@ -85,6 +85,8 @@ def batch_payload(batch, memory_reports: Optional[Mapping[str, Any]] = None) -> 
                 "device": job_result.job.config.device,
                 "cached": job_result.cached,
                 "error": job_result.error,
+                "error_type": job_result.error_type,
+                "traceback": job_result.traceback,
                 "summary": job_result.summary.to_dict() if job_result.summary else None,
             }
             for job_result in batch
@@ -136,3 +138,74 @@ def profile_payload(reports: Mapping[str, Any]) -> Dict[str, Any]:
 def version_payload(version: str) -> Dict[str, Any]:
     """``version``: the package version."""
     return {"package": "repro", "version": version}
+
+
+# ----------------------------------------------------------------------
+# Daemon payloads (REST API bodies and their CLI mirrors)
+# ----------------------------------------------------------------------
+def job_payload(record) -> Dict[str, Any]:
+    """One job as the daemon's status endpoint serves it.
+
+    This is the :class:`~repro.daemon.jobs.JobRecord` dict minus the bulky
+    ``result``/``snapshot`` bodies (those have their own endpoints), plus
+    presence flags so clients know whether fetching them will succeed.
+    """
+    from repro.daemon.jobs import DAEMON_SCHEMA_VERSION
+
+    data = record.to_dict()
+    return {
+        "schema_version": DAEMON_SCHEMA_VERSION,
+        "id": data["id"],
+        "owner": data["owner"],
+        "kind": data["spec"]["kind"],
+        "state": data["state"],
+        "priority": data["priority"],
+        "seq": data["seq"],
+        "error": data["error"],
+        "error_type": data["error_type"],
+        "traceback": data["traceback"],
+        "has_result": data["result"] is not None,
+        "has_snapshot": data["snapshot"] is not None,
+    }
+
+
+def job_list_payload(records) -> Dict[str, Any]:
+    """``GET /jobs``: the caller's jobs in submission order."""
+    from repro.daemon.jobs import DAEMON_SCHEMA_VERSION
+
+    return {
+        "schema_version": DAEMON_SCHEMA_VERSION,
+        "jobs": [job_payload(record) for record in records],
+    }
+
+
+def job_result_payload(record) -> Dict[str, Any]:
+    """``GET /jobs/<id>/result``: the completed job's result body."""
+    from repro.daemon.jobs import DAEMON_SCHEMA_VERSION
+
+    return {
+        "schema_version": DAEMON_SCHEMA_VERSION,
+        "id": record.id,
+        "kind": record.spec.kind,
+        "result": record.result,
+    }
+
+
+def snapshot_payload(record) -> Dict[str, Any]:
+    """``GET /jobs/<id>/snapshot``: the paused job's resume snapshot
+    (already versioned by the daemon's snapshot builders)."""
+    from repro.daemon.jobs import DAEMON_SCHEMA_VERSION
+
+    return {
+        "schema_version": DAEMON_SCHEMA_VERSION,
+        "id": record.id,
+        "kind": record.spec.kind,
+        "state": record.state,
+        "snapshot": record.snapshot,
+    }
+
+
+def daemon_health_payload(health: Mapping[str, Any]) -> Dict[str, Any]:
+    """``GET /health``: queue/cache/worker stats from
+    :meth:`~repro.daemon.daemon.ReplayDaemon.health` (already versioned)."""
+    return dict(health)

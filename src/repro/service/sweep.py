@@ -22,6 +22,7 @@ from typing import Any, Dict, List, Optional, Sequence, Tuple
 
 from repro.core.replayer import ReplayConfig
 from repro.service.batch import BatchReplayer, BatchResult, ReplayJob
+from repro.service.cache import ResultCache
 from repro.service.repository import TraceRecord, TraceRepository
 
 
@@ -72,15 +73,28 @@ class SweepResult:
 
 
 class SweepRunner:
-    """Expands a :class:`SweepSpec` against a repository and runs it."""
+    """Expands a :class:`SweepSpec` against a repository and runs it.
+
+    The runner owns the :class:`~repro.service.batch.BatchReplayer` it runs
+    through: callers describe the execution policy (``cache``,
+    ``max_workers``, ``backend``) and the runner builds the replayer, so
+    batch construction stays inside the service layer.  An explicit
+    ``replayer`` (the daemon's pause-aware instance, a test double) takes
+    precedence over the policy arguments.
+    """
 
     def __init__(
         self,
         repository: TraceRepository,
         replayer: Optional[BatchReplayer] = None,
+        cache: Optional[ResultCache] = None,
+        max_workers: Optional[int] = None,
+        backend: str = "thread",
     ) -> None:
         self.repository = repository
-        self.replayer = replayer if replayer is not None else BatchReplayer()
+        if replayer is None:
+            replayer = BatchReplayer(cache=cache, max_workers=max_workers, backend=backend)
+        self.replayer = replayer
 
     def records_for(self, spec: SweepSpec) -> List[TraceRecord]:
         """The trace records ``spec`` targets (all, or the named subset)."""

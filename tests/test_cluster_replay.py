@@ -22,11 +22,10 @@ from repro.bench.harness import compare_distributed
 from repro.cluster import (
     ClusterMatchError,
     ClusterReplayer,
-    CollectiveRendezvous,
     CollectiveSyncError,
     match_collectives,
 )
-from repro.cluster.rendezvous import normalize_op
+from repro.cluster.rendezvous import EventRendezvous, RankBlocked, normalize_op
 from repro.core.pipeline import run_replay
 from repro.core.replayer import ReplayConfig
 from repro.et.analyzer import CATEGORY_COMMS, categorize_node
@@ -58,11 +57,9 @@ def fleet_traces(fleet_captures):
 # ----------------------------------------------------------------------
 # Rendezvous
 # ----------------------------------------------------------------------
-class TestCollectiveRendezvous:
-    def make(self, participants=(0,), timeout_s=2.0):
-        return CollectiveRendezvous(
-            CollectiveCostModel(InterconnectSpec()), participants, timeout_s=timeout_s
-        )
+class TestEventRendezvous:
+    def make(self, participants=(0,)):
+        return EventRendezvous(CollectiveCostModel(InterconnectSpec()), participants)
 
     def test_normalize_op(self):
         assert normalize_op("c10d::all_reduce") == "all_reduce"
@@ -86,24 +83,18 @@ class TestCollectiveRendezvous:
         assert duration is None  # local no-op; the kernel model prices a memcpy
 
     def test_two_participants_release_at_common_time(self):
+        """The event discipline: the first arrival parks (RankBlocked), the
+        last arrival resolves the slot, ``take_ready`` names it, and the
+        parked rank's retry reads the same (start, duration) release."""
         rendezvous = self.make(participants=(0, 1))
-        results = {}
-
-        import threading
-
-        def participant(rank, arrival):
-            results[rank] = rendezvous.sync(rank, "all_reduce", [0, 1], 1 << 20, arrival)
-
-        threads = [
-            threading.Thread(target=participant, args=(0, 10.0)),
-            threading.Thread(target=participant, args=(1, 50.0)),
-        ]
-        for thread in threads:
-            thread.start()
-        for thread in threads:
-            thread.join()
-        assert results[0] == results[1]
-        start, duration = results[0]
+        with pytest.raises(RankBlocked) as blocked:
+            rendezvous.sync(0, "all_reduce", [0, 1], 1 << 20, arrival_us=10.0)
+        assert rendezvous.take_ready() == []  # nothing resolved yet
+        last = rendezvous.sync(1, "all_reduce", [0, 1], 1 << 20, arrival_us=50.0)
+        assert rendezvous.take_ready() == [blocked.value.slot]
+        retried = rendezvous.sync(0, "all_reduce", [0, 1], 1 << 20, arrival_us=10.0)
+        assert retried == last
+        start, duration = retried
         assert start == 50.0  # the slowest participant's arrival
         assert duration is not None and duration > 0
         stats = rendezvous.stats()
@@ -113,14 +104,21 @@ class TestCollectiveRendezvous:
         assert stats.stall_us_by_rank[1] == pytest.approx(0.0)
 
     def test_retired_participant_fails_waiters(self):
-        rendezvous = self.make(participants=(0, 1), timeout_s=5.0)
+        rendezvous = self.make(participants=(0, 1))
         rendezvous.retire(1)
         with pytest.raises(CollectiveSyncError, match="finished their trace"):
             rendezvous.sync(0, "all_reduce", [0, 1], 1024, arrival_us=0.0)
 
-    def test_timeout_guards_against_hangs(self):
-        rendezvous = self.make(participants=(0, 1), timeout_s=0.05)
-        with pytest.raises(CollectiveSyncError, match="timed out"):
+    def test_fail_pending_breaks_deadlocks(self):
+        """The scheduler's structural deadlock breaker: when every live
+        cursor is parked, no slot can resolve — ``fail_pending`` fails them
+        all so the retries surface a diagnosis instead of hanging."""
+        rendezvous = self.make(participants=(0, 1))
+        with pytest.raises(RankBlocked):
+            rendezvous.sync(0, "all_reduce", [0, 1], 1024, arrival_us=0.0)
+        rendezvous.fail_pending("every live cursor is parked")
+        assert rendezvous.take_ready() != []
+        with pytest.raises(CollectiveSyncError, match="cannot resolve"):
             rendezvous.sync(0, "all_reduce", [0, 1], 1024, arrival_us=0.0)
 
 

@@ -335,22 +335,31 @@ class TestMonotonicClockGuard:
         assert set(clock_rule.roots) == {"src/repro/bench", "src/repro/profiling"}
 
 
-class TestLegacyEngineGuard:
-    """``scripts/check_deprecated_usage.py`` bans importing the legacy
-    thread-per-rank fan-out (``repro.cluster.legacy``) outside its compat
-    shim and the engine's sanctioned dispatch."""
+class TestBatchReplayerGuard:
+    """``scripts/check_deprecated_usage.py`` bans constructing
+    ``BatchReplayer`` outside the service layer and the daemon — batch
+    execution policy (cache, error capture, pause semantics) stays in one
+    place."""
 
-    def test_rule_fires_on_legacy_import(self, tmp_path):
+    def test_rule_fires_on_direct_construction(self, tmp_path):
         checker = _load_usage_checker()
-        bad = tmp_path / "src" / "repro" / "service"
+        bad = tmp_path / "src" / "repro" / "api"
         bad.mkdir(parents=True)
-        (bad / "x.py").write_text("from repro.cluster.legacy import execute_threaded\n")
+        (bad / "x.py").write_text("replayer = BatchReplayer(cache=None)\n")
         offenders = checker.find_offenders(tmp_path)
-        assert list(offenders) == ["legacy-threaded-engine"]
-        assert "x.py:1" in offenders["legacy-threaded-engine"][0]
+        assert list(offenders) == ["direct-batch-replayer"]
+        assert "x.py:1" in offenders["direct-batch-replayer"][0]
 
-    def test_shim_and_engine_are_exempt(self):
+    def test_service_and_daemon_directories_are_exempt(self, tmp_path):
         checker = _load_usage_checker()
-        rule = next(r for r in checker.RULES if r.name == "legacy-threaded-engine")
-        assert "src/repro/cluster/legacy.py" in rule.exempt
-        assert "src/repro/cluster/engine.py" in rule.exempt
+        for exempt_dir in ("service", "daemon"):
+            ok = tmp_path / "src" / "repro" / exempt_dir
+            ok.mkdir(parents=True)
+            (ok / "x.py").write_text("replayer = BatchReplayer(cache=None)\n")
+        assert checker.find_offenders(tmp_path) == {}
+
+    def test_exempt_entries_are_directory_prefixes(self):
+        checker = _load_usage_checker()
+        rule = next(r for r in checker.RULES if r.name == "direct-batch-replayer")
+        assert "src/repro/service/" in rule.exempt
+        assert "src/repro/daemon/" in rule.exempt
