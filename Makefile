@@ -3,7 +3,7 @@
 PYTHON ?= python
 export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH),)
 
-.PHONY: test test-cluster test-memory test-profiling test-scheduler test-daemon bench bench-fast lint example-sweep clean
+.PHONY: test test-cluster test-memory test-profiling test-scheduler test-daemon test-telemetry bench bench-fast lint example-sweep clean
 
 test:
 	$(PYTHON) -m pytest -x -q
@@ -37,6 +37,12 @@ test-scheduler:
 test-daemon:
 	$(PYTHON) -m pytest tests/test_daemon.py tests/test_serialize_payloads.py -q
 	$(PYTHON) -m repro serve --help > /dev/null
+
+# Telemetry subsystem: tracer/metrics/export tests, the byte-identical
+# disabled-fast-path suite, and a CLI smoke run of replay-dist --trace-out.
+test-telemetry:
+	$(PYTHON) -m pytest tests/test_telemetry.py tests/test_telemetry_fastpath.py -q
+	$(PYTHON) -m repro replay-dist --help > /dev/null
 
 bench:
 	$(PYTHON) -m pytest benchmarks/ -q

@@ -4,10 +4,11 @@ Unlike the table/figure benchmarks (which regenerate the *paper's*
 numbers), this one measures the replay engine itself and writes the
 versioned ``BENCH_replay_throughput.json`` trajectory file at the repo
 root: scalar vs vectorized execute-loop throughput for the PARAM-linear,
-RM and DDP-RM traces, plus the :class:`~repro.profiling.ProfileHook`
-overhead.  The assertions pin the vectorized executor's headline win
-(>=10x on RM) and the profiler's <5% per-op cost so future changes cannot
-silently regress either.
+RM and DDP-RM traces, plus the :class:`~repro.profiling.ProfileHook` and
+:class:`~repro.telemetry.TelemetryHook` overheads.  The assertions pin
+the vectorized executor's headline win (>=10x on RM) and the <5% per-op
+cost of either attached hook so future changes cannot silently regress
+any of them.
 """
 
 from repro.bench.throughput import (
@@ -44,3 +45,8 @@ def test_replay_throughput_trajectory(benchmark):
 
     # Attaching the profiler hook costs <5% on the scalar per-op loop.
     assert report["profiler"]["overhead_pct"] < 5.0
+
+    # So does an attached, *enabled* telemetry hook (the ISSUE's budget);
+    # the disabled path is separately pinned byte-identical by
+    # tests/test_telemetry_fastpath.py.
+    assert report["telemetry_overhead"]["overhead_pct"] < 5.0

@@ -1,7 +1,7 @@
 #!/usr/bin/env python3
 """CI guard against deprecated / banned API usage inside ``src/``.
 
-Three rules, one pass:
+Four rules, one pass:
 
 * The deprecated ``Replayer`` entry point must not be used inside ``src/``
   outside its own shim module — every replay goes through
@@ -14,6 +14,12 @@ Three rules, one pass:
   (``src/repro/bench/`` and ``src/repro/profiling/``): it is not monotonic
   (NTP slews and clock steps corrupt measured windows), so all wall-time
   deltas use ``time.perf_counter()``.
+* Bare ``print(`` is banned inside ``src/repro/`` outside the CLI and the
+  daemon's HTTP front-end: library code reports through return values, the
+  telemetry layer (``repro.telemetry``), or an explicit stream
+  (``print(..., file=...)`` / ``sys.stderr.write``) — never by writing to
+  whatever stdout happens to be attached (which corrupts ``--json`` output
+  and daemon logs).
 
 Run from the repository root (``make lint`` does).  Exit code 0 when clean,
 1 with a file:line listing otherwise.  ``tests/test_profiling.py`` drives
@@ -79,6 +85,22 @@ RULES = (
         message=(
             "time.time() used where host durations are measured (it is not "
             "monotonic; use time.perf_counter())"
+        ),
+    ),
+    Rule(
+        name="bare-print",
+        # A print( call with no file= argument on the same line.  The
+        # lookbehind keeps method calls (self.print(), console.print()) and
+        # string literals mentioning print( out of scope.
+        pattern=re.compile(r"(?<![\w.\"'])print\((?!.*\bfile\s*=)"),
+        roots=("src/repro",),
+        exempt=(
+            "src/repro/service/cli.py",
+            "src/repro/daemon/server.py",
+        ),
+        message=(
+            "bare print() in library code (route output through return "
+            "values, repro.telemetry, or an explicit print(..., file=...))"
         ),
     ),
 )

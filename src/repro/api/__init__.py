@@ -93,6 +93,14 @@ from repro.memory import (
 from repro.core.registry import ReplaySupport
 from repro.core.replayer import ReplayConfig, ReplayResult, ReplayResultSummary
 from repro.profiling import ProfileHook, ProfileReport
+from repro.telemetry import (
+    MetricsRegistry,
+    Span,
+    TelemetryHook,
+    Tracer,
+    to_chrome_trace,
+    write_chrome_trace,
+)
 from repro.service.cache import ResultCache
 from repro.service.repository import TraceRepository
 from repro.service.sweep import SweepResult, SweepRunner, SweepSpec
@@ -140,7 +148,8 @@ def replay_cluster(
     executes until ``.run()`` on the returned :class:`ClusterSession`::
 
         report = api.replay_cluster(captures).world(64).on("A100").run()
-        print(report.critical_path_us, report.mean_exposed_comm_us)
+        critical_path = report.critical_path_us
+        exposed = report.mean_exposed_comm_us
     """
     return ClusterSession(fleet, config=config, support=support)
 
@@ -275,6 +284,13 @@ __all__ = [
     # replay-engine profiling
     "ProfileHook",
     "ProfileReport",
+    # telemetry (tracing / metrics / timeline export)
+    "Tracer",
+    "Span",
+    "TelemetryHook",
+    "MetricsRegistry",
+    "to_chrome_trace",
+    "write_chrome_trace",
     # configuration / results
     "ReplayConfig",
     "ReplayResult",

@@ -14,7 +14,7 @@ straggler overrides), then hands everything to the
         .configure_rank(0, device="V100")    # model a straggler
         .run()
     )
-    print(report.critical_path_us, report.straggler_rank)
+    critical_path, straggler = report.critical_path_us, report.straggler_rank
 
 Every mutator returns ``self``; nothing executes until :meth:`run`.
 """
@@ -55,6 +55,7 @@ class ClusterSession:
         self._memory_budget: Optional[Any] = None
         self._profile = False
         self._profile_at_exit = False
+        self._tracer: Optional[Any] = None
 
     # ------------------------------------------------------------------
     # Configuration
@@ -150,6 +151,45 @@ class ClusterSession:
         self._profile_at_exit = report_at_exit
         return self
 
+    def with_telemetry(
+        self, tracer: Optional[Any] = None, enabled: bool = True
+    ) -> "ClusterSession":
+        """Trace the co-replay on the unified telemetry timeline.
+
+        Every replica gets a per-rank
+        :class:`~repro.telemetry.TelemetryHook` (stage spans), the event
+        scheduler emits park/wake/rendezvous markers, and after
+        :meth:`run` the fleet's virtual-time Gantt — per-rank
+        compute / comms / exposed-comms / stall lanes — is recorded onto
+        ``tracer`` (a fresh :class:`~repro.telemetry.Tracer` when none is
+        given).  :meth:`export_trace` renders it as Chrome-trace JSON.
+        Purely observational: reports and cache digests are byte-identical
+        with telemetry on, disabled (``enabled=False``) or absent.
+        """
+        from repro.telemetry import Tracer
+
+        self._tracer = tracer if tracer is not None else Tracer(enabled=enabled)
+        return self
+
+    @property
+    def tracer(self) -> Optional[Any]:
+        """The session's :class:`~repro.telemetry.Tracer` (set by
+        :meth:`with_telemetry`), or ``None``."""
+        return self._tracer
+
+    def export_trace(self, path: Union[str, Path]) -> Path:
+        """Write the telemetry timeline as Chrome-trace JSON to ``path``.
+
+        Requires :meth:`with_telemetry` and a completed :meth:`run`.
+        """
+        if self._tracer is None:
+            raise RuntimeError(
+                "no telemetry on this session — call .with_telemetry() before .run()"
+            )
+        from repro.telemetry import write_chrome_trace
+
+        return write_chrome_trace(self._tracer, Path(path))
+
     # ------------------------------------------------------------------
     # Execution policy
     # ------------------------------------------------------------------
@@ -182,9 +222,10 @@ class ClusterSession:
             from repro.profiling import ProfileHook
 
             at_exit = self._profile_at_exit
+            shared_tracer = self._tracer
 
             def profile_hook_factory(rank: int) -> ProfileHook:
-                return ProfileHook(report_at_exit=at_exit)
+                return ProfileHook(report_at_exit=at_exit, tracer=shared_tracer)
 
         replayer = ClusterReplayer(
             config=self._config,
@@ -196,6 +237,7 @@ class ClusterSession:
             memory_budget=self._memory_budget,
             profile_hook_factory=profile_hook_factory,
         )
+        replayer.tracer = self._tracer
         fleet = self._fleet
         if isinstance(fleet, (str, Path)):
             fleet = ClusterReplayer.load_fleet(fleet)

@@ -65,6 +65,7 @@ class ReplaySession:
         self._pipeline = (pipeline if pipeline is not None else ReplayPipeline.default()).clone()
         self._runtime: Optional[Runtime] = None
         self._profile_hook: Optional[Any] = None
+        self._tracer: Optional[Any] = None
 
     # ------------------------------------------------------------------
     # Configuration
@@ -179,8 +180,53 @@ class ReplaySession:
         self._profile_hook = (
             hook if hook is not None else ProfileHook(report_at_exit=report_at_exit)
         )
+        if self._tracer is not None and getattr(self._profile_hook, "tracer", None) is None:
+            self._profile_hook.tracer = self._tracer
         self._pipeline.add_hook(self._profile_hook)
         return self
+
+    def with_telemetry(
+        self, tracer: Optional[Any] = None, enabled: bool = True
+    ) -> "ReplaySession":
+        """Trace the replay on the unified telemetry timeline.
+
+        Attaches a :class:`~repro.telemetry.TelemetryHook` recording one
+        wall+virtual span per pipeline stage onto ``tracer`` (a fresh
+        :class:`~repro.telemetry.Tracer` is created when none is given);
+        after :meth:`run` the measured kernel launches are folded in as
+        compute/comms/exposed-comms Gantt slices, and
+        :meth:`export_trace` writes the whole thing as Chrome-trace JSON.
+        Telemetry observes through the hook protocol only, so replay
+        results and cache digests are byte-identical with it on, off
+        (``enabled=False``) or absent — the disabled path costs one
+        attribute read per callback.
+        """
+        from repro.telemetry import TelemetryHook, Tracer
+
+        self._tracer = tracer if tracer is not None else Tracer(enabled=enabled)
+        if self._profile_hook is not None and getattr(self._profile_hook, "tracer", None) is None:
+            self._profile_hook.tracer = self._tracer
+        self._pipeline.add_hook(TelemetryHook(self._tracer))
+        return self
+
+    @property
+    def tracer(self) -> Optional[Any]:
+        """The session's :class:`~repro.telemetry.Tracer` (set by
+        :meth:`with_telemetry`), or ``None``."""
+        return self._tracer
+
+    def export_trace(self, path: Union[str, Path]) -> Path:
+        """Write the telemetry timeline as Chrome-trace JSON to ``path``.
+
+        Requires :meth:`with_telemetry` and a completed :meth:`run`.
+        """
+        if self._tracer is None:
+            raise RuntimeError(
+                "no telemetry on this session — call .with_telemetry() before .run()"
+            )
+        from repro.telemetry import write_chrome_trace
+
+        return write_chrome_trace(self._tracer, Path(path))
 
     # ------------------------------------------------------------------
     # Observation and stage composition
@@ -252,6 +298,12 @@ class ReplaySession:
                 trace_name=str(context.trace.metadata.get("workload", "")),
                 device=self._config.device,
                 vectorized=getattr(self._config, "vectorized", True),
+            )
+        if self._tracer is not None and self._tracer.enabled:
+            from repro.telemetry import record_replay_timeline
+
+            record_replay_timeline(
+                self._tracer, result, rank=int(self._config.rank or 0)
             )
         return result
 

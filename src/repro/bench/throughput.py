@@ -275,6 +275,91 @@ def measure_profiler_overhead(
     }
 
 
+def measure_telemetry_overhead(
+    trace: ExecutionTrace,
+    profiler_trace: Optional[ProfilerTrace] = None,
+    device: str = "A100",
+    min_seconds: float = 0.2,
+) -> Dict[str, float]:
+    """Per-op cost of an attached, *enabled* telemetry hook.
+
+    Same interleaved-chunk / min-ratio protocol as
+    :func:`measure_profiler_overhead` (see there for why the minimum chunk
+    ratio is the assertable estimate), but the hooked loop carries a
+    :class:`~repro.telemetry.TelemetryHook` bound to an enabled
+    :class:`~repro.telemetry.Tracer` — the worst case the ISSUE's <5%
+    budget covers; the disabled path never reaches the hook at all.
+    """
+    import gc
+
+    from repro.telemetry import TelemetryHook, Tracer
+
+    def build_context(hooks: Sequence[Any]) -> ReplayContext:
+        config = ReplayConfig(device=device, vectorized=False, profile=False)
+        context = ReplayContext(
+            trace=trace,
+            profiler_trace=profiler_trace,
+            config=config,
+            hooks=list(hooks),
+        )
+        ReplayPipeline.build_only().run_context(context)
+        InitCommsStage().run(context)
+        return context
+
+    stage = ExecuteStage()
+    baseline_ctx = build_context(())
+    traced_ctx = build_context((TelemetryHook(Tracer()),))
+    ops = 0
+    for context in (baseline_ctx, traced_ctx):
+        ops, _skipped = stage._replay_once(context, context.runtime)
+    if ops <= 0:
+        raise ValueError("trace has no supported operators to benchmark")
+
+    clock = time.perf_counter
+    chunks = 3
+    chunk_seconds = max(min_seconds, 0.05)
+    best_ratio = float("inf")
+    best_baseline_s = float("inf")
+    best_traced_s = float("inf")
+    gc_was_enabled = gc.isenabled()
+    gc.disable()
+    try:
+        for _chunk in range(chunks):
+            baseline_total = 0.0
+            traced_total = 0.0
+            baseline_first = True
+            while baseline_total + traced_total < chunk_seconds:
+                first, second = (
+                    (baseline_ctx, traced_ctx)
+                    if baseline_first
+                    else (traced_ctx, baseline_ctx)
+                )
+                start = clock()
+                stage._replay_once(first, first.runtime)
+                mid = clock()
+                stage._replay_once(second, second.runtime)
+                end = clock()
+                baseline_s, traced_s = (
+                    (mid - start, end - mid)
+                    if baseline_first
+                    else (end - mid, mid - start)
+                )
+                baseline_total += baseline_s
+                traced_total += traced_s
+                best_baseline_s = min(best_baseline_s, baseline_s)
+                best_traced_s = min(best_traced_s, traced_s)
+                baseline_first = not baseline_first
+            best_ratio = min(best_ratio, traced_total / baseline_total)
+    finally:
+        if gc_was_enabled:
+            gc.enable()
+    return {
+        "baseline_ops_per_sec": ops / best_baseline_s,
+        "telemetry_ops_per_sec": ops / best_traced_s,
+        "overhead_pct": (best_ratio - 1.0) * 100.0,
+    }
+
+
 # ----------------------------------------------------------------------
 # The full benchmark
 # ----------------------------------------------------------------------
@@ -284,7 +369,8 @@ def run_benchmark(
     min_seconds: float = 0.2,
 ) -> Dict[str, Any]:
     """Scalar vs vectorized replay throughput for every bench workload,
-    plus the profiler-overhead section; the BENCH file's payload."""
+    plus the profiler- and telemetry-overhead sections; the BENCH file's
+    payload."""
     report: Dict[str, Any] = {
         "schema_version": BENCH_SCHEMA_VERSION,
         "generated_by": "repro.bench.throughput",
@@ -312,6 +398,9 @@ def run_benchmark(
         }
     if rm_capture is not None:
         report["profiler"] = measure_profiler_overhead(
+            rm_capture[0], rm_capture[1], device=device, min_seconds=min_seconds
+        )
+        report["telemetry_overhead"] = measure_telemetry_overhead(
             rm_capture[0], rm_capture[1], device=device, min_seconds=min_seconds
         )
     return report
@@ -366,6 +455,13 @@ def format_report(report: Dict[str, Any]) -> str:
             f"\nprofiler overhead: {profiler['overhead_pct']:.1f}% "
             f"({profiler['baseline_ops_per_sec']:,.0f} -> "
             f"{profiler['profiled_ops_per_sec']:,.0f} ops/s, scalar loop)"
+        )
+    telemetry = report.get("telemetry_overhead")
+    if telemetry:
+        text += (
+            f"\ntelemetry overhead: {telemetry['overhead_pct']:.1f}% "
+            f"({telemetry['baseline_ops_per_sec']:,.0f} -> "
+            f"{telemetry['telemetry_ops_per_sec']:,.0f} ops/s, scalar loop)"
         )
     return text
 

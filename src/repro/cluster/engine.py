@@ -383,6 +383,15 @@ class ClusterReplayer:
         #: :class:`RankReport` — one hook per rank because replicas replay on
         #: concurrent worker threads.
         self.profile_hook_factory = profile_hook_factory
+        #: Optional :class:`~repro.telemetry.Tracer` (set by
+        #: ``ClusterSession.with_telemetry()`` or the ``--trace-out`` CLI
+        #: path).  When enabled, every replica gets a per-rank
+        #: :class:`~repro.telemetry.TelemetryHook`, the scheduler emits
+        #: park/wake/rendezvous events, and :meth:`replay` records the
+        #: per-rank virtual-time Gantt (compute / comms / exposed-comms /
+        #: stall lanes) onto the tracer.  ``None`` keeps every replay path
+        #: telemetry-free.
+        self.tracer = None
 
     # ------------------------------------------------------------------
     @staticmethod
@@ -447,14 +456,19 @@ class ClusterReplayer:
             cost_model=self._cost_model(),
             participants=ranks,
         )
+        tracer = self.tracer if self.tracer is not None and self.tracer.enabled else None
         profile_hooks: Dict[int, Any] = {}
         replicas = []
         for trace, profiler in zip(fleet, profilers):
             rank = int(trace.metadata.get("rank", 0))
-            hooks = None
+            hooks: Optional[Tuple[Any, ...]] = None
             if self.profile_hook_factory is not None:
                 profile_hooks[rank] = self.profile_hook_factory(rank)
                 hooks = (profile_hooks[rank],)
+            if tracer is not None:
+                from repro.telemetry import TelemetryHook
+
+                hooks = (hooks or ()) + (TelemetryHook(tracer, rank=rank),)
             replicas.append(
                 RankReplica.from_trace(
                     trace,
@@ -533,6 +547,7 @@ class ClusterReplayer:
             replicas[0].rendezvous,
             pick=self.scheduler_pick,
             interrupt=self.scheduler_interrupt,
+            telemetry=self.tracer,
         )
         errors = scheduler.run()
         if errors:
@@ -587,5 +602,17 @@ class ClusterReplayer:
                     memory=result.memory_report,
                     profile=profile,
                 )
+            )
+        tracer = self.tracer
+        if tracer is not None and tracer.enabled:
+            from repro.telemetry import record_cluster_timeline
+
+            record_cluster_timeline(
+                tracer,
+                {replica.rank: result for replica, result in zip(replicas, results)},
+                collective_events=getattr(rendezvous, "events", ()),
+                measure_start_by_rank={
+                    replica.rank: replica.measure_start_us for replica in replicas
+                },
             )
         return report

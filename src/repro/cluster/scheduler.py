@@ -349,6 +349,7 @@ class VirtualTimeScheduler:
         rendezvous: EventRendezvous,
         pick: Optional[PickFunction] = None,
         interrupt: Optional[Callable[[], bool]] = None,
+        telemetry=None,
     ) -> None:
         self.replicas = list(replicas)
         self.rendezvous = rendezvous
@@ -358,6 +359,10 @@ class VirtualTimeScheduler:
         #: outstanding cursors (retiring their ranks from the rendezvous),
         #: so abandonment is clean and a later re-run starts fresh.
         self.interrupt = interrupt
+        #: Optional :class:`~repro.telemetry.Tracer`.  Park/wake/rendezvous
+        #: transitions become instant events on the ``scheduler`` category;
+        #: ``None`` (the default) keeps the loop free of telemetry work.
+        self.telemetry = telemetry
 
     # ------------------------------------------------------------------
     def run(self) -> Dict[int, str]:
@@ -372,9 +377,17 @@ class VirtualTimeScheduler:
         errors: Dict[int, str] = {}
         outstanding = set(cursors)
         step = 0
+        telemetry = self.telemetry if self.telemetry is not None and self.telemetry.enabled else None
+        run_span = (
+            telemetry.begin("scheduler:run", "scheduler", ranks=len(cursors))
+            if telemetry is not None
+            else None
+        )
         try:
             while outstanding:
                 if self.interrupt is not None and self.interrupt():
+                    if telemetry is not None:
+                        telemetry.event("pause", "scheduler", step=step)
                     raise ClusterPaused(step)
                 if not runnable:
                     # Every live cursor is parked: cross-wired collective
@@ -388,6 +401,10 @@ class VirtualTimeScheduler:
                     if not runnable:
                         # Nothing to wake either — cursors vanished without
                         # finishing; record the survivors instead of spinning.
+                        if telemetry is not None:
+                            telemetry.event(
+                                "deadlock", "scheduler", step=step, ranks=sorted(outstanding)
+                            )
                         for rank in sorted(outstanding):
                             errors.setdefault(rank, "deadlocked in the event scheduler")
                         break
@@ -410,19 +427,48 @@ class VirtualTimeScheduler:
                     blocked = cursor.advance()
                 except StopIteration:
                     outstanding.discard(rank)
+                    if telemetry is not None:
+                        telemetry.event(
+                            "finish", "scheduler", correlation={"rank": rank}, step=step
+                        )
                 except Exception as error:  # noqa: BLE001 - aggregated like the pool path
                     outstanding.discard(rank)
                     errors[rank] = cursor.replica.error or f"{type(error).__name__}: {error}"
+                    if telemetry is not None:
+                        telemetry.event(
+                            "rank-error",
+                            "scheduler",
+                            correlation={"rank": rank},
+                            step=step,
+                            error=errors[rank],
+                        )
                 else:
                     parked.setdefault(blocked.slot, []).append(rank)
+                    if telemetry is not None:
+                        telemetry.event(
+                            "park",
+                            "scheduler",
+                            correlation={"rank": rank},
+                            step=step,
+                            slot=str(blocked.slot),
+                        )
                 self._wake(parked, runnable)
         finally:
             for rank in outstanding:
                 cursors[rank].close()
+            if telemetry is not None:
+                run_span.attributes["steps"] = step
+                run_span.attributes["errors"] = len(errors)
+                telemetry.end(run_span)
         return errors
 
     # ------------------------------------------------------------------
     def _wake(self, parked: Dict[Tuple, List[int]], runnable: deque) -> None:
+        telemetry = self.telemetry if self.telemetry is not None and self.telemetry.enabled else None
         for slot in self.rendezvous.take_ready():
+            if telemetry is not None:
+                telemetry.event("rendezvous", "scheduler", slot=str(slot))
             for rank in parked.pop(slot, ()):
                 runnable.append(rank)
+                if telemetry is not None:
+                    telemetry.event("wake", "scheduler", correlation={"rank": rank}, slot=str(slot))

@@ -27,12 +27,14 @@ uninterrupted inline run would produce.
 from __future__ import annotations
 
 import threading
+import time
 from pathlib import Path
 from typing import Any, Dict, List, Optional, Union
 
 from repro.daemon.executor import InflightRegistry, JobControl, JobExecutor, run_job
 from repro.daemon.jobs import (
     DAEMON_SCHEMA_VERSION,
+    JOB_STATES,
     JobRecord,
     JobSpec,
     JobStateError,
@@ -42,7 +44,16 @@ from repro.daemon.jobs import (
 from repro.daemon.queue import JobQueue
 from repro.daemon.store import JobStore
 from repro.service.cache import ResultCache
+from repro.telemetry import MetricsRegistry, Tracer
 from repro.version import __version__
+
+#: Job states whose entry increments a lifecycle counter.
+_TRANSITION_COUNTERS = {
+    "completed": "repro_jobs_completed_total",
+    "failed": "repro_jobs_failed_total",
+    "cancelled": "repro_jobs_cancelled_total",
+    "paused": "repro_jobs_paused_total",
+}
 
 
 class JobAccessError(PermissionError):
@@ -94,8 +105,48 @@ class ReplayDaemon:
         self._records: Dict[str, JobRecord] = {}
         self._controls: Dict[str, JobControl] = {}
         self._seq = 0
+        self._started_monotonic = time.monotonic()
+        #: Service metrics, exposed as Prometheus text on ``GET /metrics``
+        #: and (counter totals) inside ``/health``.
+        self.metrics = MetricsRegistry()
+        #: Job lifecycle spans (one per executed job, correlated by
+        #: job id / owner / kind) land here.
+        self.tracer = Tracer()
+        self._init_metrics()
         self.executor = JobExecutor(self.queue, self._execute, workers=workers)
         self._recover()
+
+    def _init_metrics(self) -> None:
+        """Register every metric up front so ``/metrics`` exposes a stable
+        set from the first scrape (zeros instead of missing series)."""
+        self.metrics.counter(
+            "repro_jobs_submitted_total", "Jobs accepted by submit()."
+        )
+        self.metrics.counter(
+            "repro_jobs_completed_total", "Jobs that reached the completed state."
+        )
+        self.metrics.counter(
+            "repro_jobs_failed_total", "Jobs that reached the failed state."
+        )
+        self.metrics.counter(
+            "repro_jobs_cancelled_total", "Jobs that reached the cancelled state."
+        )
+        self.metrics.counter(
+            "repro_jobs_paused_total", "Pause acknowledgements (entries into paused)."
+        )
+        self.metrics.counter(
+            "repro_jobs_resumed_total", "Paused jobs requeued by resume()."
+        )
+        self.metrics.gauge("repro_jobs_running", "Jobs currently executing.")
+        self.metrics.gauge("repro_queue_depth", "Jobs waiting in the queue.")
+        self.metrics.histogram(
+            "repro_job_duration_seconds", "Wall time of one executor run of a job."
+        )
+
+    def _count_transition(self, state: str) -> None:
+        name = _TRANSITION_COUNTERS.get(state)
+        if name is not None:
+            self.metrics.counter(name).inc()
 
     # ------------------------------------------------------------------
     def _recover(self) -> None:
@@ -136,6 +187,7 @@ class ReplayDaemon:
             self._records[record.id] = record
             self.store.save(record)
             self.queue.push(record.priority, record.owner, record.seq, record.id)
+            self.metrics.counter("repro_jobs_submitted_total").inc()
             self._changed.notify_all()
             return record
 
@@ -167,6 +219,7 @@ class ReplayDaemon:
             if record.state == "queued":
                 self.queue.remove(job_id)
                 record.transition("paused")
+                self._count_transition("paused")
             elif record.state == "running":
                 control = self._controls.get(job_id)
                 if control is not None:
@@ -189,6 +242,7 @@ class ReplayDaemon:
                 raise JobStateError(f"job {job_id} cannot resume from {record.state!r}")
             record.transition("queued")
             self._controls.pop(job_id, None)  # fresh flags on the next run
+            self.metrics.counter("repro_jobs_resumed_total").inc()
             self.store.save(record)
             self.queue.push(record.priority, record.owner, record.seq, record.id)
             self._changed.notify_all()
@@ -201,6 +255,7 @@ class ReplayDaemon:
                 self.queue.remove(job_id)
                 record.transition("cancelled")
                 record.snapshot = None
+                self._count_transition("cancelled")
                 self.store.save(record)
             elif record.state in ("running", "pausing"):
                 control = self._controls.get(job_id)
@@ -210,6 +265,7 @@ class ReplayDaemon:
             elif record.state == "paused":
                 record.transition("cancelled")
                 record.snapshot = None
+                self._count_transition("cancelled")
                 self.store.save(record)
             elif record.state != "cancelled":
                 raise JobStateError(f"job {job_id} cannot cancel from {record.state!r}")
@@ -242,11 +298,28 @@ class ReplayDaemon:
             "schema_version": DAEMON_SCHEMA_VERSION,
             "version": __version__,
             "jobs": states,
+            # Zero-filled per-state depths: monitoring reads a stable shape
+            # instead of states appearing as jobs first reach them.
+            "jobs_by_state": {state: states.get(state, 0) for state in JOB_STATES},
+            "uptime_s": time.monotonic() - self._started_monotonic,
             "queue_depth": len(self.queue),
             "queue_by_owner": self.queue.depth_by_owner(),
             "workers": self.executor.workers,
             "cache": self.cache.stats(),
+            "telemetry": self.metrics.counter_totals(),
         }
+
+    def metrics_text(self) -> str:
+        """Prometheus text exposition of the service metrics (the body of
+        the HTTP layer's ``GET /metrics``); point-in-time gauges are
+        refreshed at scrape time."""
+        with self._lock:
+            running = sum(
+                1 for record in self._records.values() if record.state == "running"
+            )
+        self.metrics.gauge("repro_jobs_running").set(running)
+        self.metrics.gauge("repro_queue_depth").set(len(self.queue))
+        return self.metrics.render_prometheus()
 
     # ------------------------------------------------------------------
     def wait(
@@ -284,7 +357,19 @@ class ReplayDaemon:
             record.transition("running")
             self.store.save(record)
             self._changed.notify_all()
-        status, value = run_job(record, control, self.cache, self.inflight)
+        started = time.monotonic()
+        self.metrics.gauge("repro_jobs_running").add(1)
+        with self.tracer.scope(job_id=job_id, owner=record.owner):
+            span = self.tracer.begin(f"job:{record.spec.kind}", "daemon")
+            try:
+                status, value = run_job(
+                    record, control, self.cache, self.inflight, tracer=self.tracer
+                )
+            finally:
+                self.metrics.gauge("repro_jobs_running").add(-1)
+                self.metrics.histogram("repro_job_duration_seconds").observe(
+                    time.monotonic() - started
+                )
         with self._changed:
             if status == "completed":
                 record.transition("completed")
@@ -304,6 +389,10 @@ class ReplayDaemon:
                 record.error = details.get("error")
                 record.error_type = details.get("error_type")
                 record.traceback = details.get("traceback")
+            self._count_transition(record.state)
+            self.tracer.end(span)
+            if span is not None:
+                span.attributes["outcome"] = record.state
             self._controls.pop(job_id, None)
             self.store.save(record)
             self._changed.notify_all()

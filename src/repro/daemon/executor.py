@@ -111,6 +111,7 @@ def run_sweep_job(
     control: JobControl,
     cache: Optional[ResultCache],
     inflight: Optional[InflightRegistry],
+    tracer: Optional[Any] = None,
 ) -> Outcome:
     """Replay every grid point, honouring a prior snapshot and the control
     flags; see the module docstring for the guarantees."""
@@ -138,14 +139,27 @@ def run_sweep_job(
                     resume = ReplayCheckpoint.from_dict(checkpoint_data)
                 except Exception as error:  # noqa: BLE001 - corrupt snapshot
                     return "failed", _error_details(error)
+            span = None
+            if tracer is not None and tracer.enabled:
+                span = tracer.begin(
+                    f"point:{point.label}", "daemon", sweep_point=point.label
+                )
             try:
                 status, value = _run_point(point, control, cache, inflight, resume, pinned)
             except ReplayPaused as paused:
+                if tracer is not None:
+                    if span is not None:
+                        span.attributes["status"] = "paused"
+                    tracer.end(span)
                 if control.cancel.is_set():
                     return "cancelled", None
                 return "paused", sweep_snapshot(
                     completed, point.label, paused.checkpoint.to_dict()
                 )
+            if tracer is not None:
+                if span is not None:
+                    span.attributes["status"] = status
+                tracer.end(span)
             if status == "cancelled":
                 return "cancelled", None
             if status == "paused":
@@ -252,7 +266,9 @@ def _sweep_result(
 # ----------------------------------------------------------------------
 # Cluster jobs
 # ----------------------------------------------------------------------
-def run_cluster_job(record: JobRecord, control: JobControl) -> Outcome:
+def run_cluster_job(
+    record: JobRecord, control: JobControl, tracer: Optional[Any] = None
+) -> Outcome:
     """Co-replay a fleet; pause lands at a scheduler-step boundary and
     resume re-runs from scratch (deterministic, so byte-identical)."""
     payload = record.spec.payload
@@ -263,14 +279,32 @@ def run_cluster_job(record: JobRecord, control: JobControl) -> Outcome:
         fleet = ClusterReplayer.load_fleet(payload["trace_dir"])
     except Exception as error:  # noqa: BLE001
         return "failed", _error_details(error)
+    # Lifecycle spans only: the full per-rank Gantt would accumulate
+    # unbounded on a long-lived daemon tracer, so replayer.tracer stays
+    # unset here (export the Gantt via the CLI / ClusterSession instead).
+    span = None
+    if tracer is not None and tracer.enabled:
+        span = tracer.begin("cluster:replay", "daemon", ranks=len(fleet))
     try:
         report = replayer.replay(fleet)
     except ClusterPaused as paused:
+        if tracer is not None:
+            if span is not None:
+                span.attributes["status"] = "paused"
+            tracer.end(span)
         if control.cancel.is_set():
             return "cancelled", None
         return "paused", cluster_snapshot(paused.completed_steps)
     except Exception as error:  # noqa: BLE001
+        if tracer is not None:
+            if span is not None:
+                span.attributes["status"] = "failed"
+            tracer.end(span)
         return "failed", _error_details(error)
+    if tracer is not None:
+        if span is not None:
+            span.attributes["status"] = "completed"
+        tracer.end(span)
     return "completed", {"kind": "cluster", "report": report.to_dict()}
 
 
@@ -279,11 +313,12 @@ def run_job(
     control: JobControl,
     cache: Optional[ResultCache],
     inflight: Optional[InflightRegistry],
+    tracer: Optional[Any] = None,
 ) -> Outcome:
     """Dispatch on the job kind."""
     if record.spec.kind == "sweep":
-        return run_sweep_job(record, control, cache, inflight)
-    return run_cluster_job(record, control)
+        return run_sweep_job(record, control, cache, inflight, tracer=tracer)
+    return run_cluster_job(record, control, tracer=tracer)
 
 
 # ----------------------------------------------------------------------

@@ -8,7 +8,8 @@ mode uses, so payload shapes stay in one place).
 
 Routes::
 
-    GET  /health                 daemon + queue + cache stats
+    GET  /health                 daemon + queue + cache + telemetry stats
+    GET  /metrics                Prometheus text exposition (not JSON)
     GET  /jobs                   the caller's jobs (``?all=1``: everyone's)
     POST /jobs                   submit {"spec": {...}, "priority": n}
     GET  /jobs/<id>              job status
@@ -74,6 +75,14 @@ class DaemonRequestHandler(BaseHTTPRequestHandler):
         self.end_headers()
         self.wfile.write(body)
 
+    def _reply_text(self, status: int, text: str, content_type: str) -> None:
+        body = text.encode("utf-8")
+        self.send_response(status)
+        self.send_header("Content-Type", content_type)
+        self.send_header("Content-Length", str(len(body)))
+        self.end_headers()
+        self.wfile.write(body)
+
     def _error(self, status: int, error: BaseException) -> None:
         self._reply(
             status, {"error": str(error), "error_type": type(error).__name__}
@@ -107,6 +116,13 @@ class DaemonRequestHandler(BaseHTTPRequestHandler):
         try:
             if head == "health" and job_id is None:
                 self._reply(200, serialize.daemon_health_payload(self.daemon_obj.health()))
+            elif head == "metrics" and job_id is None:
+                # Prometheus exposition format, not JSON.
+                self._reply_text(
+                    200,
+                    self.daemon_obj.metrics_text(),
+                    "text/plain; version=0.0.4; charset=utf-8",
+                )
             elif head == "jobs" and job_id is None:
                 owner = None if self._wants_all() else self._owner()
                 self._reply(

@@ -11,20 +11,30 @@ reads of ``time.perf_counter()`` shared across callbacks (one read per
 event, not per aggregate), and four list-cell updates; everything else
 (sorting, shares, means) happens at :meth:`ProfileHook.report` time.
 
+Stage timing is recorded as :class:`~repro.telemetry.Span` objects
+rather than private float marks: each pipeline stage becomes one
+``stage:<name>`` span on the ``profiling`` category.  Pass a shared
+:class:`~repro.telemetry.Tracer` (``session.with_telemetry()`` does) and
+the spans land on the unified timeline too; without one they stay local
+and :meth:`ProfileHook.report` aggregates them into ``stage_wall_s``
+exactly as before.
+
 The atexit summary mirrors tinygrad's ``ProfileOp`` idiom: opt-in (pass
-``report_at_exit=True`` or set ``REPRO_PROFILE_ATEXIT=1``), printed once at
-interpreter shutdown, hot ops first.
+``report_at_exit=True`` or set ``REPRO_PROFILE_ATEXIT=1``), written to
+stderr once at interpreter shutdown, hot ops first.
 """
 
 from __future__ import annotations
 
 import atexit
 import os
+import sys
 import time
 from typing import Any, Callable, Dict, List, Optional
 
 from repro.core.pipeline import ReplayContext, ReplayHook, ReplayStage
 from repro.profiling.report import OpProfile, ProfileReport
+from repro.telemetry.tracer import Span, Tracer
 
 #: Environment variable enabling the atexit summary for every hook.
 ATEXIT_ENV = "REPRO_PROFILE_ATEXIT"
@@ -35,7 +45,7 @@ _atexit_registered = False
 
 def _print_atexit_reports() -> None:  # pragma: no cover - interpreter exit
     for hook in _atexit_hooks:
-        print(hook.report().format_table())
+        sys.stderr.write(hook.report().format_table() + "\n")
 
 
 def _register_atexit(hook: "ProfileHook") -> None:
@@ -58,12 +68,17 @@ class ProfileHook(ReplayHook):
         self,
         clock: Callable[[], float] = time.perf_counter,
         report_at_exit: bool = False,
+        tracer: Optional[Tracer] = None,
     ) -> None:
         self._clock = clock
+        #: Shared telemetry tracer; stage spans are published here when
+        #: one is attached (and enabled).  Profiling itself never depends
+        #: on it — spans are kept locally either way.
+        self.tracer = tracer
         #: op name -> [count, total_s, min_s, max_s]
         self._ops: Dict[str, List[float]] = {}
-        self._stage_wall_s: Dict[str, float] = {}
-        self._stage_started_at: Dict[str, float] = {}
+        self._open_spans: Dict[str, Span] = {}
+        self._stage_spans: List[Span] = []
         self._last_mark = 0.0
         self._replayed_ops = 0
         self._measured_ops = 0
@@ -80,8 +95,8 @@ class ProfileHook(ReplayHook):
     def reset(self) -> None:
         """Forget everything observed so far (reuse across replays)."""
         self._ops.clear()
-        self._stage_wall_s.clear()
-        self._stage_started_at.clear()
+        self._open_spans.clear()
+        self._stage_spans.clear()
         self._last_mark = 0.0
         self._replayed_ops = 0
         self._measured_ops = 0
@@ -93,15 +108,27 @@ class ProfileHook(ReplayHook):
     # ------------------------------------------------------------------
     def on_stage_start(self, context: ReplayContext, stage: ReplayStage) -> None:
         now = self._clock()
-        self._stage_started_at[stage.name] = now
+        self._open_spans[stage.name] = Span(
+            name=f"stage:{stage.name}",
+            category="profiling",
+            wall_start_s=now,
+        )
         if stage.name == "execute":
             self._last_mark = now
 
     def on_stage_end(self, context: ReplayContext, stage: ReplayStage) -> None:
-        started = self._stage_started_at.pop(stage.name, None)
-        if started is not None:
-            self._stage_wall_s[stage.name] = (
-                self._stage_wall_s.get(stage.name, 0.0) + self._clock() - started
+        span = self._open_spans.pop(stage.name, None)
+        if span is None:
+            return
+        span.wall_end_s = self._clock()
+        self._stage_spans.append(span)
+        tracer = self.tracer
+        if tracer is not None and tracer.enabled:
+            tracer.record(
+                span.name,
+                span.category,
+                wall_start_s=span.wall_start_s,
+                wall_end_s=span.wall_end_s,
             )
 
     def on_resume(self, context: ReplayContext) -> None:
@@ -134,6 +161,21 @@ class ProfileHook(ReplayHook):
             self._measured_end = now
 
     # ------------------------------------------------------------------
+    @property
+    def stage_spans(self) -> List[Span]:
+        """Completed ``stage:<name>`` spans, in completion order."""
+        return list(self._stage_spans)
+
+    def _stage_wall_seconds(self) -> Dict[str, float]:
+        totals: Dict[str, float] = {}
+        for span in self._stage_spans:
+            duration = span.wall_duration_s
+            if duration is None:
+                continue
+            name = span.name[len("stage:"):]
+            totals[name] = totals.get(name, 0.0) + duration
+        return totals
+
     def report(
         self,
         trace_name: Optional[str] = None,
@@ -166,7 +208,7 @@ class ProfileHook(ReplayHook):
             vectorized=self.vectorized if vectorized is None else vectorized,
             replayed_ops=self._replayed_ops,
             measured_ops=self._measured_ops,
-            stage_wall_s=dict(self._stage_wall_s),
+            stage_wall_s=self._stage_wall_seconds(),
             ops_per_sec=(
                 self._measured_ops / measured_window_s if measured_window_s > 0 else 0.0
             ),

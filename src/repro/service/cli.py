@@ -145,6 +145,12 @@ def build_parser() -> argparse.ArgumentParser:
         "--timeout", type=float, default=60.0, metavar="SECONDS",
         help="rendezvous guard against mismatched fleets (default: 60)",
     )
+    dist_parser.add_argument(
+        "--trace-out", default=None, metavar="PATH", dest="trace_out",
+        help="write the co-replay's telemetry timeline (per-rank compute/comms/"
+             "stall Gantt on the virtual clock) as Chrome-trace JSON to PATH "
+             "(open at chrome://tracing or ui.perfetto.dev)",
+    )
     _add_config_arguments(dist_parser)
     _add_memory_arguments(dist_parser)
     dist_parser.add_argument("--json", action="store_true", help="emit JSON instead of a table")
@@ -457,11 +463,16 @@ def _cmd_replay_dist(args: argparse.Namespace) -> int:
         session.topology(args.topology)
     if args.memory:
         session.with_memory(budget=_budget_bytes(args.memory_budget_gb))
+    if args.trace_out:
+        session.with_telemetry()
     try:
         report = session.run()
     except (ClusterMatchError, ClusterReplayError, OSError) as error:
         print(f"error: {error}", file=sys.stderr)
         return 1
+    if args.trace_out:
+        path = session.export_trace(args.trace_out)
+        print(f"telemetry timeline written to {path}", file=sys.stderr)
     if args.json:
         print(serialize.dumps(serialize.cluster_payload(report)))
     else:

@@ -209,3 +209,20 @@ def daemon_health_payload(health: Mapping[str, Any]) -> Dict[str, Any]:
     """``GET /health``: queue/cache/worker stats from
     :meth:`~repro.daemon.daemon.ReplayDaemon.health` (already versioned)."""
     return dict(health)
+
+
+# ----------------------------------------------------------------------
+# Telemetry payloads
+# ----------------------------------------------------------------------
+def metrics_payload(registry) -> Dict[str, Any]:
+    """JSON mirror of the metrics registry (the Prometheus exposition on
+    ``GET /metrics`` is the text twin of this shape; both are versioned
+    through ``METRICS_SCHEMA_VERSION``)."""
+    return registry.snapshot()
+
+
+def telemetry_trace_payload(tracer) -> Dict[str, Any]:
+    """A tracer's recorded spans/events as the versioned telemetry dict
+    (``TELEMETRY_SCHEMA_VERSION``); the Chrome-trace exporter renders the
+    same records for timeline viewers."""
+    return tracer.to_dict()

@@ -1,0 +1,66 @@
+"""repro.telemetry — unified tracing, metrics and timeline export.
+
+The package gives every layer of the replay system one observability
+surface:
+
+``tracer``
+    :class:`Span` / :class:`Tracer` — wall-time *and* virtual-time spans
+    with a correlation context (job id, sweep point, rank) that nests
+    across threads.  A disabled tracer records nothing and costs one
+    attribute read per call site.
+
+``hook``
+    :class:`TelemetryHook` — a :class:`~repro.core.pipeline.ReplayHook`
+    that turns pipeline stage boundaries into spans.  It rides the
+    existing ``notify = bool(context.hooks)`` fast path, so replays
+    without telemetry keep the zero-overhead guarantee and byte-identical
+    results/digests.
+
+``metrics``
+    :class:`MetricsRegistry` — counters, gauges and histograms with a
+    versioned snapshot schema and Prometheus text exposition (served by
+    the daemon's ``GET /metrics``).
+
+``export``
+    Chrome-trace/Perfetto JSON export: wall-time spans become host
+    lanes, virtual-time slices become per-rank Gantt lanes
+    (compute / comms / exposed-comm / stall), written by
+    ``python -m repro replay-dist --trace-out`` and
+    ``session.export_trace()``.
+"""
+
+from repro.telemetry.tracer import (
+    TELEMETRY_SCHEMA_VERSION,
+    Span,
+    Tracer,
+)
+from repro.telemetry.hook import TelemetryHook
+from repro.telemetry.metrics import (
+    METRICS_SCHEMA_VERSION,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+)
+from repro.telemetry.export import (
+    record_cluster_timeline,
+    record_replay_timeline,
+    to_chrome_trace,
+    write_chrome_trace,
+)
+
+__all__ = [
+    "TELEMETRY_SCHEMA_VERSION",
+    "METRICS_SCHEMA_VERSION",
+    "Span",
+    "Tracer",
+    "TelemetryHook",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "record_replay_timeline",
+    "record_cluster_timeline",
+    "to_chrome_trace",
+    "write_chrome_trace",
+]

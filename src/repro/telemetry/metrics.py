@@ -1,0 +1,241 @@
+"""Counters, gauges and histograms with Prometheus text exposition.
+
+The registry is deliberately small: named metrics with optional help
+strings, thread-safe updates, a versioned :meth:`MetricsRegistry.snapshot`
+payload (serialized through ``service/serialize.py``) and
+:meth:`MetricsRegistry.render_prometheus` producing the text format
+``text/plain; version=0.0.4`` that the daemon's ``GET /metrics`` serves.
+No labels — the daemon's cardinality needs are covered by per-state
+counters, and keeping the model flat keeps exposition trivially correct.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+#: Version of the snapshot payload schema.  Adding keys is fine;
+#: renaming or removing existing ones is breaking.
+METRICS_SCHEMA_VERSION = 1
+
+#: Default histogram buckets (seconds) — tuned for job durations.
+DEFAULT_BUCKETS: Tuple[float, ...] = (
+    0.01,
+    0.05,
+    0.1,
+    0.5,
+    1.0,
+    5.0,
+    10.0,
+    30.0,
+    60.0,
+    300.0,
+)
+
+
+def _format_value(value: float) -> str:
+    """Prometheus renders integers without a trailing ``.0``."""
+    if value == int(value):
+        return str(int(value))
+    return repr(value)
+
+
+class Counter:
+    """Monotonically increasing value."""
+
+    kind = "counter"
+
+    def __init__(self, name: str, help: str = "") -> None:
+        self.name = name
+        self.help = help
+        self._lock = threading.Lock()
+        self._value = 0.0
+
+    def inc(self, amount: float = 1.0) -> None:
+        if amount < 0:
+            raise ValueError("counters only go up; use a Gauge")
+        with self._lock:
+            self._value += amount
+
+    @property
+    def value(self) -> float:
+        with self._lock:
+            return self._value
+
+    def snapshot(self) -> float:
+        return self.value
+
+    def render(self) -> List[str]:
+        lines = []
+        if self.help:
+            lines.append(f"# HELP {self.name} {self.help}")
+        lines.append(f"# TYPE {self.name} counter")
+        lines.append(f"{self.name} {_format_value(self.value)}")
+        return lines
+
+
+class Gauge:
+    """A value that can go up and down."""
+
+    kind = "gauge"
+
+    def __init__(self, name: str, help: str = "") -> None:
+        self.name = name
+        self.help = help
+        self._lock = threading.Lock()
+        self._value = 0.0
+
+    def set(self, value: float) -> None:
+        with self._lock:
+            self._value = float(value)
+
+    def add(self, amount: float) -> None:
+        with self._lock:
+            self._value += amount
+
+    @property
+    def value(self) -> float:
+        with self._lock:
+            return self._value
+
+    def snapshot(self) -> float:
+        return self.value
+
+    def render(self) -> List[str]:
+        lines = []
+        if self.help:
+            lines.append(f"# HELP {self.name} {self.help}")
+        lines.append(f"# TYPE {self.name} gauge")
+        lines.append(f"{self.name} {_format_value(self.value)}")
+        return lines
+
+
+class Histogram:
+    """Cumulative-bucket histogram (Prometheus semantics)."""
+
+    kind = "histogram"
+
+    def __init__(
+        self,
+        name: str,
+        help: str = "",
+        buckets: Sequence[float] = DEFAULT_BUCKETS,
+    ) -> None:
+        self.name = name
+        self.help = help
+        self.buckets = tuple(sorted(buckets))
+        self._lock = threading.Lock()
+        self._bucket_counts = [0] * len(self.buckets)
+        self._sum = 0.0
+        self._count = 0
+
+    def observe(self, value: float) -> None:
+        with self._lock:
+            self._sum += value
+            self._count += 1
+            for i, bound in enumerate(self.buckets):
+                if value <= bound:
+                    self._bucket_counts[i] += 1
+
+    def snapshot(self) -> Dict[str, Any]:
+        with self._lock:
+            return {
+                "buckets": {
+                    repr(bound): count
+                    for bound, count in zip(self.buckets, self._bucket_counts)
+                },
+                "sum": self._sum,
+                "count": self._count,
+            }
+
+    def render(self) -> List[str]:
+        lines = []
+        if self.help:
+            lines.append(f"# HELP {self.name} {self.help}")
+        lines.append(f"# TYPE {self.name} histogram")
+        with self._lock:
+            cumulative = 0
+            for bound, count in zip(self.buckets, self._bucket_counts):
+                cumulative = count  # counts are already cumulative per-bucket
+                lines.append(
+                    f'{self.name}_bucket{{le="{_format_value(bound)}"}} {cumulative}'
+                )
+            lines.append(f'{self.name}_bucket{{le="+Inf"}} {self._count}')
+            lines.append(f"{self.name}_sum {_format_value(self._sum)}")
+            lines.append(f"{self.name}_count {self._count}")
+        return lines
+
+
+class MetricsRegistry:
+    """Get-or-create registry; the single source the daemon exposes."""
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._metrics: Dict[str, Any] = {}
+
+    def _get_or_create(self, name: str, kind: type, **kwargs: Any) -> Any:
+        with self._lock:
+            metric = self._metrics.get(name)
+            if metric is None:
+                metric = kind(name, **kwargs)
+                self._metrics[name] = metric
+            elif not isinstance(metric, kind):
+                raise TypeError(
+                    f"metric {name!r} already registered as {metric.kind}, "
+                    f"not {kind.kind}"
+                )
+            return metric
+
+    def counter(self, name: str, help: str = "") -> Counter:
+        return self._get_or_create(name, Counter, help=help)
+
+    def gauge(self, name: str, help: str = "") -> Gauge:
+        return self._get_or_create(name, Gauge, help=help)
+
+    def histogram(
+        self,
+        name: str,
+        help: str = "",
+        buckets: Optional[Sequence[float]] = None,
+    ) -> Histogram:
+        kwargs: Dict[str, Any] = {"help": help}
+        if buckets is not None:
+            kwargs["buckets"] = buckets
+        return self._get_or_create(name, Histogram, **kwargs)
+
+    # ------------------------------------------------------------------
+    def counter_totals(self) -> Dict[str, float]:
+        """Just the counters — folded into the daemon's ``/health``."""
+        with self._lock:
+            metrics = list(self._metrics.values())
+        return {m.name: m.snapshot() for m in metrics if isinstance(m, Counter)}
+
+    def snapshot(self) -> Dict[str, Any]:
+        """Versioned JSON-able payload of every registered metric."""
+        with self._lock:
+            metrics = list(self._metrics.values())
+        counters: Dict[str, float] = {}
+        gauges: Dict[str, float] = {}
+        histograms: Dict[str, Any] = {}
+        for metric in metrics:
+            if isinstance(metric, Counter):
+                counters[metric.name] = metric.snapshot()
+            elif isinstance(metric, Gauge):
+                gauges[metric.name] = metric.snapshot()
+            elif isinstance(metric, Histogram):
+                histograms[metric.name] = metric.snapshot()
+        return {
+            "schema_version": METRICS_SCHEMA_VERSION,
+            "counters": counters,
+            "gauges": gauges,
+            "histograms": histograms,
+        }
+
+    def render_prometheus(self) -> str:
+        """Prometheus text exposition format 0.0.4."""
+        with self._lock:
+            metrics = sorted(self._metrics.values(), key=lambda m: m.name)
+        lines: List[str] = []
+        for metric in metrics:
+            lines.extend(metric.render())
+        return "\n".join(lines) + "\n"

@@ -130,19 +130,80 @@ class TestResultAndSnapshotPayloads:
         assert roundtrip(payload) == payload
 
 
+#: The pinned /health key set (what a live daemon's health() serves).
+HEALTH_KEYS = {
+    "schema_version", "version", "jobs", "jobs_by_state", "uptime_s",
+    "queue_depth", "queue_by_owner", "workers", "cache", "telemetry",
+}
+
+
 class TestHealthPayload:
     def test_passthrough_and_version(self):
         health = {
             "schema_version": DAEMON_SCHEMA_VERSION,
             "version": "1.0",
             "jobs": {"completed": 2},
+            "jobs_by_state": {"queued": 0, "running": 0, "pausing": 0,
+                              "paused": 0, "completed": 2, "failed": 0,
+                              "cancelled": 0},
+            "uptime_s": 12.5,
             "queue_depth": 0,
             "queue_by_owner": {},
             "workers": 2,
             "cache": {"entries": 2},
+            "telemetry": {"repro_jobs_submitted_total": 2.0},
         }
+        assert set(health) == HEALTH_KEYS
         payload = serialize.daemon_health_payload(health)
         assert payload == health
+        assert roundtrip(payload) == payload
+
+    def test_live_daemon_health_matches_pinned_keys(self, tmp_path):
+        """The real ReplayDaemon.health() serves exactly the pinned shape,
+        with jobs_by_state zero-filled over every job state."""
+        from repro.daemon import ReplayDaemon
+        from repro.daemon.jobs import JOB_STATES
+
+        daemon = ReplayDaemon(tmp_path / "state", workers=1)
+        health = daemon.health()
+        assert set(health) == HEALTH_KEYS
+        assert set(health["jobs_by_state"]) == set(JOB_STATES)
+        assert all(count == 0 for count in health["jobs_by_state"].values())
+        assert health["uptime_s"] >= 0.0
+        assert health["telemetry"]["repro_jobs_submitted_total"] == 0.0
+        assert roundtrip(serialize.daemon_health_payload(health)) == health
+
+
+class TestTelemetryPayloads:
+    def test_metrics_payload_is_versioned_and_round_trips(self):
+        from repro.telemetry import METRICS_SCHEMA_VERSION, MetricsRegistry
+
+        registry = MetricsRegistry()
+        registry.counter("jobs_total", "jobs").inc(3)
+        registry.gauge("depth", "queue depth").set(2)
+        registry.histogram("latency_seconds", "latency").observe(0.2)
+        payload = serialize.metrics_payload(registry)
+        assert set(payload) == {
+            "schema_version", "counters", "gauges", "histograms"
+        }
+        assert payload["schema_version"] == METRICS_SCHEMA_VERSION
+        assert payload["counters"]["jobs_total"] == 3.0
+        assert roundtrip(payload) == payload
+
+    def test_trace_payload_is_versioned_and_round_trips(self):
+        from repro.telemetry import TELEMETRY_SCHEMA_VERSION, Tracer
+
+        tracer = Tracer()
+        with tracer.span("work", "daemon"):
+            pass
+        tracer.event("mark", "daemon", virtual_us=5.0)
+        payload = serialize.telemetry_trace_payload(tracer)
+        assert set(payload) == {
+            "schema_version", "span_count", "event_count", "dropped",
+            "spans", "events",
+        }
+        assert payload["schema_version"] == TELEMETRY_SCHEMA_VERSION
+        assert payload["span_count"] == 1 and payload["event_count"] == 1
         assert roundtrip(payload) == payload
 
 
