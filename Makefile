@@ -3,7 +3,7 @@
 PYTHON ?= python
 export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH),)
 
-.PHONY: test test-cluster test-memory test-profiling test-scheduler test-daemon test-telemetry bench bench-fast lint example-sweep clean
+.PHONY: test test-cluster test-memory test-profiling test-scheduler test-daemon test-telemetry test-insights bench bench-fast lint example-sweep clean
 
 test:
 	$(PYTHON) -m pytest -x -q
@@ -44,13 +44,25 @@ test-telemetry:
 	$(PYTHON) -m pytest tests/test_telemetry.py tests/test_telemetry_fastpath.py -q
 	$(PYTHON) -m repro replay-dist --help > /dev/null
 
+# Insights subsystem: critical-path / diff / regression analyses, the
+# structured-logging satellite, and a CLI smoke run of `repro analyze`.
+test-insights:
+	$(PYTHON) -m pytest tests/test_insights.py -q
+	$(PYTHON) -m repro analyze --help > /dev/null
+
+# After the benchmarks refresh BENCH_replay_throughput.json, the
+# regression watchdog checks it against the recorded trajectory
+# (BENCH_history.jsonl, appended with --record) and fails the target on
+# a perf drop.
 bench:
 	$(PYTHON) -m pytest benchmarks/ -q
+	$(PYTHON) -m repro analyze regressions --record
 
 # Just the replay-engine throughput benchmark: refreshes
 # BENCH_replay_throughput.json at the repo root in a few seconds.
 bench-fast:
 	$(PYTHON) -m pytest benchmarks/test_bench_trajectory.py benchmarks/test_replay_throughput.py -q
+	$(PYTHON) -m repro analyze regressions --record
 
 lint:
 	$(PYTHON) -m compileall -q src tests benchmarks examples

@@ -1,7 +1,7 @@
 #!/usr/bin/env python3
 """CI guard against deprecated / banned API usage inside ``src/``.
 
-Four rules, one pass:
+Five rules, one pass:
 
 * The deprecated ``Replayer`` entry point must not be used inside ``src/``
   outside its own shim module — every replay goes through
@@ -20,6 +20,12 @@ Four rules, one pass:
   (``print(..., file=...)`` / ``sys.stderr.write``) — never by writing to
   whatever stdout happens to be attached (which corrupts ``--json`` output
   and daemon logs).
+* Direct ``json.dump(s)`` of analysis/CLI payloads is banned inside
+  ``src/repro/insights/`` and ``src/repro/service/`` outside
+  ``service/serialize.py`` — every ``--json`` and daemon payload renders
+  through the shared serializer (``serialize.dumps`` /
+  ``serialize.dumps_compact``), so payload shape and encoding policy stay
+  in one place.  (``json.loads`` is fine anywhere.)
 
 Run from the repository root (``make lint`` does).  Exit code 0 when clean,
 1 with a file:line listing otherwise.  ``tests/test_profiling.py`` drives
@@ -101,6 +107,23 @@ RULES = (
         message=(
             "bare print() in library code (route output through return "
             "values, repro.telemetry, or an explicit print(..., file=...))"
+        ),
+    ),
+    Rule(
+        name="serializer-bypass",
+        # Matches json.dump( and json.dumps( but not json.loads(.
+        pattern=re.compile(r"\bjson\.dumps?\("),
+        roots=("src/repro/insights", "src/repro/service"),
+        exempt=(
+            "src/repro/service/serialize.py",
+            # The result cache persists its own entries; not a payload
+            # anything prints or serves.
+            "src/repro/service/cache.py",
+        ),
+        message=(
+            "json.dump(s) of an analysis/CLI payload outside "
+            "service/serialize.py (render through serialize.dumps / "
+            "serialize.dumps_compact so payload shapes stay in one place)"
         ),
     ),
 )

@@ -92,6 +92,14 @@ from repro.memory import (
 )
 from repro.core.registry import ReplaySupport
 from repro.core.replayer import ReplayConfig, ReplayResult, ReplayResultSummary
+from repro.insights import (
+    CriticalPathReport,
+    DiffReport,
+    RunProfile,
+    analyze_critical_path,
+    analyze_replay_result,
+    diff_runs,
+)
 from repro.profiling import ProfileHook, ProfileReport
 from repro.telemetry import (
     MetricsRegistry,
@@ -291,6 +299,13 @@ __all__ = [
     "MetricsRegistry",
     "to_chrome_trace",
     "write_chrome_trace",
+    # insights (critical path / diff / regression analyses)
+    "CriticalPathReport",
+    "DiffReport",
+    "RunProfile",
+    "analyze_critical_path",
+    "analyze_replay_result",
+    "diff_runs",
     # configuration / results
     "ReplayConfig",
     "ReplayResult",

@@ -56,6 +56,7 @@ class ClusterSession:
         self._profile = False
         self._profile_at_exit = False
         self._tracer: Optional[Any] = None
+        self._last_report: Optional[ClusterReport] = None
 
     # ------------------------------------------------------------------
     # Configuration
@@ -241,4 +242,34 @@ class ClusterSession:
         fleet = self._fleet
         if isinstance(fleet, (str, Path)):
             fleet = ClusterReplayer.load_fleet(fleet)
-        return replayer.replay(fleet, rank_overrides=self._rank_overrides or None)
+        report = replayer.replay(fleet, rank_overrides=self._rank_overrides or None)
+        self._last_report = report
+        return report
+
+    def analyze(
+        self,
+        top: int = 5,
+        straggler_threshold_pct: Optional[float] = None,
+    ) -> Any:
+        """Critical-path attribution of the last :meth:`run`.
+
+        Returns a :class:`~repro.insights.CriticalPathReport`: per-rank
+        compute/comm/stall decomposition with overlap scores, straggler
+        detection, and — when the session ran with telemetry — the
+        dominant ops and collectives from the virtual-time Gantt slices.
+        """
+        if self._last_report is None:
+            raise RuntimeError("nothing to analyze — call .run() first")
+        from repro.insights import analyze_critical_path
+        from repro.insights.critical_path import DEFAULT_STRAGGLER_THRESHOLD_PCT
+
+        return analyze_critical_path(
+            self._last_report,
+            trace=self._tracer,
+            top=top,
+            straggler_threshold_pct=(
+                DEFAULT_STRAGGLER_THRESHOLD_PCT
+                if straggler_threshold_pct is None
+                else straggler_threshold_pct
+            ),
+        )

@@ -66,6 +66,7 @@ class ReplaySession:
         self._runtime: Optional[Runtime] = None
         self._profile_hook: Optional[Any] = None
         self._tracer: Optional[Any] = None
+        self._last_result: Optional[ReplayResult] = None
 
     # ------------------------------------------------------------------
     # Configuration
@@ -305,7 +306,26 @@ class ReplaySession:
             record_replay_timeline(
                 self._tracer, result, rank=int(self._config.rank or 0)
             )
+        self._last_result = result
         return result
+
+    def analyze(self, top: int = 5) -> Any:
+        """Critical-path attribution of the last :meth:`run`.
+
+        Returns a :class:`~repro.insights.CriticalPathReport` ranking
+        the ops and collectives behind the measured iteration time,
+        with the comm/compute overlap score.
+        """
+        if self._last_result is None:
+            raise RuntimeError("nothing to analyze — call .run() first")
+        from repro.insights import analyze_replay_result
+
+        return analyze_replay_result(
+            self._last_result,
+            rank=int(self._config.rank or 0),
+            device=self._config.device,
+            top=top,
+        )
 
     def run_context(self) -> ReplayContext:
         """Execute the pipeline and return the threaded context.

@@ -59,6 +59,13 @@ CLUSTER_SCALE_SECTION = "cluster_scale"
 #: BENCH-file section recording the daemon's sustained jobs/sec.
 DAEMON_THROUGHPUT_SECTION = "daemon_throughput"
 
+#: Interleaved-chunk overhead measurements jitter by roughly this much
+#: (percent) on a quiet host.  Raw ratios inside ±this band are noise:
+#: reported overheads are clamped at 0 so the regression watchdog never
+#: adopts measurement jitter as a "telemetry is free" baseline, and the
+#: raw value is kept alongside for provenance.
+OVERHEAD_NOISE_FLOOR_PCT = 0.5
+
 #: Sections owned by benchmarks other than the main throughput run;
 #: :func:`write_report` carries them forward so whichever benchmark writes
 #: second never clobbers the others' sections.
@@ -268,10 +275,13 @@ def measure_profiler_overhead(
     finally:
         if gc_was_enabled:
             gc.enable()
+    raw_pct = (best_ratio - 1.0) * 100.0
     return {
         "baseline_ops_per_sec": ops / best_baseline_s,
         "profiled_ops_per_sec": ops / best_profiled_s,
-        "overhead_pct": (best_ratio - 1.0) * 100.0,
+        "overhead_pct": max(0.0, raw_pct),
+        "overhead_raw_pct": raw_pct,
+        "noise_floor_pct": OVERHEAD_NOISE_FLOOR_PCT,
     }
 
 
@@ -353,10 +363,13 @@ def measure_telemetry_overhead(
     finally:
         if gc_was_enabled:
             gc.enable()
+    raw_pct = (best_ratio - 1.0) * 100.0
     return {
         "baseline_ops_per_sec": ops / best_baseline_s,
         "telemetry_ops_per_sec": ops / best_traced_s,
-        "overhead_pct": (best_ratio - 1.0) * 100.0,
+        "overhead_pct": max(0.0, raw_pct),
+        "overhead_raw_pct": raw_pct,
+        "noise_floor_pct": OVERHEAD_NOISE_FLOOR_PCT,
     }
 
 

@@ -280,6 +280,19 @@ class ReplayDaemon:
             )
         return record.result
 
+    def analysis(self, job_id: str, owner: Optional[str] = None) -> Dict[str, Any]:
+        """Insights diagnosis of a completed job's stored result.
+
+        Cluster jobs get critical-path attribution from the persisted
+        report; sweeps get a spread/outlier summary — without the tenant
+        downloading any traces.  Raises :class:`JobStateError` until the
+        job completes, like :meth:`result`.
+        """
+        result = self.result(job_id, owner)
+        from repro.insights import analyze_job_result
+
+        return analyze_job_result(result)
+
     def snapshot_of(self, job_id: str, owner: Optional[str] = None) -> Dict[str, Any]:
         record = self.get(job_id, owner)
         if record.snapshot is None:

@@ -14,6 +14,7 @@ Routes::
     POST /jobs                   submit {"spec": {...}, "priority": n}
     GET  /jobs/<id>              job status
     GET  /jobs/<id>/result       completed job's result body
+    GET  /jobs/<id>/analysis     insights diagnosis of a completed job
     GET  /jobs/<id>/snapshot     paused job's resume snapshot
     POST /jobs/<id>/pause        request a checkpoint-boundary pause
     POST /jobs/<id>/resume       requeue a paused job
@@ -36,6 +37,11 @@ from typing import Any, Dict, Optional, Tuple
 from repro.daemon.daemon import JobAccessError, ReplayDaemon, UnknownJobError
 from repro.daemon.jobs import JobSpec, JobStateError
 from repro.service import serialize
+from repro.telemetry import get_logger
+
+#: Name of the structured access-log logger — request it via
+#: ``get_logger(ACCESS_LOGGER_NAME, stream=...)`` to redirect it.
+ACCESS_LOGGER_NAME = "repro.daemon.http"
 
 #: Default bind for ``python -m repro serve`` and the client CLI.
 DEFAULT_HOST = "127.0.0.1"
@@ -60,8 +66,21 @@ class DaemonRequestHandler(BaseHTTPRequestHandler):
         return self.server.replay_daemon  # type: ignore[attr-defined]
 
     def log_message(self, format: str, *args: Any) -> None:  # noqa: A002
+        # JSON-lines via repro.telemetry, not the stdlib access-log
+        # format: one parseable object per request, stamped with any
+        # tracer correlation active on this thread.
         if getattr(self.server, "verbose", False):
-            super().log_message(format, *args)
+            get_logger(ACCESS_LOGGER_NAME).info(
+                format % args,
+                extra={
+                    "fields": {
+                        "client": self.address_string(),
+                        "owner": self._owner(),
+                        "method": getattr(self, "command", None),
+                        "path": getattr(self, "path", None),
+                    }
+                },
+            )
 
     # ------------------------------------------------------------------
     def _owner(self) -> str:
@@ -139,6 +158,10 @@ class DaemonRequestHandler(BaseHTTPRequestHandler):
                 record = self.daemon_obj.get(job_id, self._owner())
                 self.daemon_obj.snapshot_of(job_id)  # state check
                 self._reply(200, serialize.snapshot_payload(record))
+            elif head == "jobs" and action == "analysis":
+                record = self.daemon_obj.get(job_id, self._owner())
+                analysis = self.daemon_obj.analysis(job_id)
+                self._reply(200, serialize.job_analysis_payload(record, analysis))
             else:
                 self._reply(404, {"error": f"no route {self.path!r}", "error_type": "LookupError"})
         except UnknownJobError as error:
@@ -187,6 +210,10 @@ class DaemonServer:
         verbose: bool = False,
     ) -> None:
         self.daemon = daemon
+        # Bind the access logger to the daemon's tracer so any
+        # correlation scope active on the handling thread is stamped
+        # onto the JSON log records.
+        get_logger(ACCESS_LOGGER_NAME, tracer=getattr(daemon, "tracer", None))
         self.httpd = ThreadingHTTPServer((host, port), DaemonRequestHandler)
         self.httpd.replay_daemon = daemon  # type: ignore[attr-defined]
         self.httpd.verbose = verbose  # type: ignore[attr-defined]

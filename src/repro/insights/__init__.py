@@ -1,0 +1,81 @@
+"""repro.insights — structured diagnoses on top of the telemetry layer.
+
+Three analyses over artifacts the repo already produces:
+
+* :func:`analyze_critical_path` / :func:`analyze_replay_result` —
+  which rank, op, and collective bound end-to-end time, with straggler
+  detection and a comm/compute overlap score per rank;
+* :class:`RunProfile` + :func:`diff_runs` — attribute the time delta
+  between two runs per stage, per op class, and per rank;
+* :class:`TrajectoryStore` + :func:`check_regressions` — a perf
+  watchdog over the ``BENCH_replay_throughput.json`` trajectory.
+
+Everything serializes through ``service/serialize.py`` under
+:data:`INSIGHTS_SCHEMA_VERSION`, and surfaces via
+``ReplaySession/ClusterSession.analyze()``, the ``python -m repro
+analyze`` CLI family, and the daemon's ``GET /jobs/<id>/analysis``.
+"""
+
+from repro.insights.critical_path import (
+    CollectiveAttribution,
+    CriticalPathReport,
+    OpAttribution,
+    RankPath,
+    analyze_critical_path,
+    analyze_replay_result,
+    collective_name,
+    format_critical_path,
+)
+from repro.insights.diff import (
+    DEFAULT_DIFF_THRESHOLD_PCT,
+    DiffEntry,
+    DiffReport,
+    RunProfile,
+    diff_runs,
+    format_diff,
+)
+from repro.insights.jobs import analyze_job_result
+from repro.insights.regression import (
+    DEFAULT_DROP_THRESHOLD_PCT,
+    HISTORY_FILENAME,
+    MetricSpec,
+    RegressionCheck,
+    RegressionReport,
+    TrajectoryStore,
+    WATCHED_METRICS,
+    check_regressions,
+    default_bench_path,
+    default_history_path,
+    format_regressions,
+)
+from repro.insights.schema import INSIGHTS_SCHEMA_VERSION
+
+__all__ = [
+    "INSIGHTS_SCHEMA_VERSION",
+    "CollectiveAttribution",
+    "CriticalPathReport",
+    "OpAttribution",
+    "RankPath",
+    "analyze_critical_path",
+    "analyze_replay_result",
+    "collective_name",
+    "format_critical_path",
+    "DEFAULT_DIFF_THRESHOLD_PCT",
+    "DiffEntry",
+    "DiffReport",
+    "RunProfile",
+    "diff_runs",
+    "format_diff",
+    "analyze_job_result",
+    "DEFAULT_DROP_THRESHOLD_PCT",
+    "HISTORY_FILENAME",
+    "MetricSpec",
+    "RegressionCheck",
+    "RegressionReport",
+    "TrajectoryStore",
+    "WATCHED_METRICS",
+    "check_regressions",
+    "default_bench_path",
+    "default_history_path",
+    "format_regressions",
+]

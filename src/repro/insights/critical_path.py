@@ -1,0 +1,550 @@
+"""Critical-path attribution for replay runs.
+
+Answers the question the Gantt lanes only let a human eyeball: *which
+rank, op, and collective bound end-to-end time?*  The coarse per-rank
+decomposition (iteration / comm / exposed-comm / stall) comes from a
+:class:`~repro.cluster.engine.ClusterReport`; the fine-grained op and
+collective ranking comes from the tracer's virtual-time slices when a
+trace is available.  Both inputs are accepted either as live objects or
+as their ``to_dict()`` payloads, so the daemon can analyze stored job
+results without re-running anything.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Mapping, Optional, Sequence, Tuple
+
+from repro.insights.schema import INSIGHTS_SCHEMA_VERSION
+
+#: Virtual-lane categories that make up a rank's Gantt timeline.
+GANTT_CATEGORIES = ("compute", "comms", "exposed-comms", "stall")
+
+#: Categories whose slices are attributable ops.  ``exposed-comms`` is a
+#: sub-view of ``comms`` and ``stall`` is idle time, so counting either
+#: would double-book the kernels.
+_OP_CATEGORIES = ("compute", "comms", "aten", "fused", "custom")
+
+#: Ranks slower than the fleet mean by more than this are stragglers.
+DEFAULT_STRAGGLER_THRESHOLD_PCT = 5.0
+
+
+def collective_name(op_name: str) -> str:
+    """Normalize an op/stall name to its collective key.
+
+    ``c10d::all_to_all`` and ``stall:all_to_all`` both map to
+    ``all_to_all`` — the same normalization the rendezvous uses for
+    matching keys.
+    """
+    name = op_name
+    if name.startswith("stall:"):
+        name = name[len("stall:"):]
+    return name.split("::")[-1].lower()
+
+
+@dataclass
+class OpAttribution:
+    """One op's share of a rank's attributable (compute + comm) time."""
+
+    name: str
+    category: str
+    total_us: float
+    count: int
+    share_pct: float
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "name": self.name,
+            "category": self.category,
+            "total_us": self.total_us,
+            "count": self.count,
+            "share_pct": self.share_pct,
+        }
+
+
+@dataclass
+class CollectiveAttribution:
+    """A collective's cost split into overlapped / exposed / stall time."""
+
+    name: str
+    total_us: float = 0.0
+    exposed_us: float = 0.0
+    stall_us: float = 0.0
+    count: int = 0
+
+    @property
+    def visible_us(self) -> float:
+        """Time this collective actually added to the critical path."""
+        return self.exposed_us + self.stall_us
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "name": self.name,
+            "total_us": self.total_us,
+            "exposed_us": self.exposed_us,
+            "stall_us": self.stall_us,
+            "visible_us": self.visible_us,
+            "count": self.count,
+        }
+
+
+@dataclass
+class RankPath:
+    """One rank's decomposition of the end-to-end time."""
+
+    rank: int
+    iteration_us: float
+    compute_us: float
+    comm_us: float
+    exposed_comm_us: float
+    stall_us: float
+    overlap_score: float
+    critical_share_pct: float
+    is_straggler: bool
+    #: How much longer the *other* ranks stall, on average, than this
+    #: one.  In a collective-synchronized fleet iteration times equalize
+    #: at every rendezvous, so the rank everyone waits for shows up as
+    #: large positive drag (it stalls least), not as a longer iteration.
+    drag_us: float = 0.0
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "rank": self.rank,
+            "iteration_us": self.iteration_us,
+            "compute_us": self.compute_us,
+            "comm_us": self.comm_us,
+            "exposed_comm_us": self.exposed_comm_us,
+            "stall_us": self.stall_us,
+            "overlap_score": self.overlap_score,
+            "critical_share_pct": self.critical_share_pct,
+            "is_straggler": self.is_straggler,
+            "drag_us": self.drag_us,
+        }
+
+
+@dataclass
+class CriticalPathReport:
+    """Structured diagnosis of what bounds a replay's end-to-end time."""
+
+    device: str
+    world_size: int
+    critical_path_us: float
+    mean_iteration_time_us: float
+    straggler_rank: Optional[int]
+    stragglers: List[int]
+    straggler_threshold_pct: float
+    ranks: List[RankPath]
+    dominant_ops: List[OpAttribution] = field(default_factory=list)
+    dominant_collective: Optional[str] = None
+    collectives: List[CollectiveAttribution] = field(default_factory=list)
+    source: str = "cluster-report"
+
+    @property
+    def skew_pct(self) -> float:
+        """How much slower the critical rank is than the fleet mean."""
+        if self.mean_iteration_time_us <= 0:
+            return 0.0
+        return (
+            (self.critical_path_us - self.mean_iteration_time_us)
+            / self.mean_iteration_time_us
+            * 100.0
+        )
+
+    def rank_path(self, rank: int) -> RankPath:
+        for row in self.ranks:
+            if row.rank == rank:
+                return row
+        raise KeyError(f"no rank {rank} in report")
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "schema_version": INSIGHTS_SCHEMA_VERSION,
+            "kind": "critical-path",
+            "source": self.source,
+            "device": self.device,
+            "world_size": self.world_size,
+            "critical_path_us": self.critical_path_us,
+            "mean_iteration_time_us": self.mean_iteration_time_us,
+            "skew_pct": self.skew_pct,
+            "straggler_rank": self.straggler_rank,
+            "stragglers": list(self.stragglers),
+            "straggler_threshold_pct": self.straggler_threshold_pct,
+            "ranks": [row.to_dict() for row in self.ranks],
+            "dominant_ops": [op.to_dict() for op in self.dominant_ops],
+            "dominant_collective": self.dominant_collective,
+            "collectives": [c.to_dict() for c in self.collectives],
+        }
+
+
+# ----------------------------------------------------------------------
+# Trace-payload aggregation
+# ----------------------------------------------------------------------
+def _trace_payload(trace: Any) -> Optional[Mapping[str, Any]]:
+    if trace is None:
+        return None
+    if hasattr(trace, "to_dict"):
+        return trace.to_dict()
+    return trace
+
+
+def _aggregate_slices(
+    payload: Mapping[str, Any],
+) -> Tuple[
+    Dict[int, Dict[Tuple[str, str], List[float]]],
+    Dict[int, Dict[str, CollectiveAttribution]],
+]:
+    """Group virtual Gantt slices by rank into op and collective totals."""
+    ops: Dict[int, Dict[Tuple[str, str], List[float]]] = {}
+    collectives: Dict[int, Dict[str, CollectiveAttribution]] = {}
+    for span in payload.get("spans", ()):
+        category = span.get("category")
+        if category not in GANTT_CATEGORIES:
+            continue
+        start = span.get("virtual_start_us")
+        end = span.get("virtual_end_us")
+        if start is None or end is None:
+            continue
+        duration = max(0.0, float(end) - float(start))
+        correlation = span.get("correlation") or {}
+        rank = int(correlation.get("rank", 0))
+        name = span.get("name", "")
+        if category in _OP_CATEGORIES:
+            bucket = ops.setdefault(rank, {}).setdefault((name, category), [0.0, 0])
+            bucket[0] += duration
+            bucket[1] += 1
+        if category in ("comms", "exposed-comms", "stall"):
+            agg = collectives.setdefault(rank, {}).setdefault(
+                collective_name(name), CollectiveAttribution(collective_name(name))
+            )
+            if category == "comms":
+                agg.total_us += duration
+                agg.count += 1
+            elif category == "exposed-comms":
+                agg.exposed_us += duration
+            else:
+                agg.stall_us += duration
+    return ops, collectives
+
+
+def _top_ops(
+    rank_ops: Mapping[Tuple[str, str], Sequence[float]], top: int
+) -> List[OpAttribution]:
+    total = sum(entry[0] for entry in rank_ops.values()) or 1.0
+    ranked = sorted(
+        rank_ops.items(), key=lambda item: (-item[1][0], item[0][0])
+    )
+    return [
+        OpAttribution(
+            name=name,
+            category=category,
+            total_us=entry[0],
+            count=int(entry[1]),
+            share_pct=entry[0] / total * 100.0,
+        )
+        for (name, category), entry in ranked[:top]
+    ]
+
+
+def _merge_collectives(
+    per_rank: Mapping[int, Mapping[str, CollectiveAttribution]]
+) -> List[CollectiveAttribution]:
+    merged: Dict[str, CollectiveAttribution] = {}
+    for rank_colls in per_rank.values():
+        for name, agg in rank_colls.items():
+            out = merged.setdefault(name, CollectiveAttribution(name))
+            out.total_us += agg.total_us
+            out.exposed_us += agg.exposed_us
+            out.stall_us += agg.stall_us
+            out.count += agg.count
+    return sorted(
+        merged.values(), key=lambda c: (-c.visible_us, -c.total_us, c.name)
+    )
+
+
+def _dominant_collective(
+    collectives: Mapping[str, CollectiveAttribution]
+) -> Optional[str]:
+    """The collective adding the most visible (exposed + stall) time.
+
+    Ties — including the fully-overlapped case where every collective's
+    visible time is zero — fall back to total comm kernel time, then to
+    the name, so the answer is deterministic.
+    """
+    if not collectives:
+        return None
+    ranked = sorted(
+        collectives.values(), key=lambda c: (-c.visible_us, -c.total_us, c.name)
+    )
+    return ranked[0].name
+
+
+# ----------------------------------------------------------------------
+# Entry points
+# ----------------------------------------------------------------------
+def analyze_critical_path(
+    report: Any,
+    trace: Any = None,
+    top: int = 5,
+    straggler_threshold_pct: float = DEFAULT_STRAGGLER_THRESHOLD_PCT,
+) -> CriticalPathReport:
+    """Attribute a cluster replay's critical path.
+
+    ``report`` is a :class:`~repro.cluster.engine.ClusterReport` or its
+    ``to_dict()`` payload; ``trace`` (optional) is a
+    :class:`~repro.telemetry.Tracer` or its ``to_dict()`` payload and
+    unlocks per-op and per-collective attribution from the virtual-time
+    Gantt slices.
+    """
+    data = report.to_dict() if hasattr(report, "to_dict") else dict(report)
+    critical = float(data.get("critical_path_us") or 0.0)
+    rows: List[RankPath] = []
+    for entry in data.get("ranks", ()):
+        iteration = float(entry.get("mean_iteration_time_us") or 0.0)
+        comm = float(entry.get("comm_time_us") or 0.0)
+        exposed = float(entry.get("exposed_comm_us") or 0.0)
+        stall = float(entry.get("stall_us") or 0.0)
+        rows.append(
+            RankPath(
+                rank=int(entry.get("rank", 0)),
+                iteration_us=iteration,
+                compute_us=max(0.0, iteration - exposed - stall),
+                comm_us=comm,
+                exposed_comm_us=exposed,
+                stall_us=stall,
+                overlap_score=_overlap_score(comm, exposed),
+                critical_share_pct=(
+                    iteration / critical * 100.0 if critical > 0 else 0.0
+                ),
+                is_straggler=False,
+            )
+        )
+    rows.sort(key=lambda r: r.rank)
+    mean_iteration = float(data.get("mean_iteration_time_us") or 0.0)
+    if not mean_iteration and rows:
+        mean_iteration = sum(r.iteration_us for r in rows) / len(rows)
+    if len(rows) > 1:
+        total_stall = sum(r.stall_us for r in rows)
+        for row in rows:
+            others_mean = (total_stall - row.stall_us) / (len(rows) - 1)
+            row.drag_us = others_mean - row.stall_us
+    # Two straggler signatures: an outright longer iteration, or — in a
+    # collective-synchronized fleet where rendezvous equalize iteration
+    # times — making every other rank stall (positive drag).
+    cutoff_us = mean_iteration * straggler_threshold_pct / 100.0
+    stragglers = [
+        r.rank
+        for r in rows
+        if r.iteration_us > mean_iteration + cutoff_us or r.drag_us > cutoff_us
+    ]
+    for row in rows:
+        row.is_straggler = row.rank in stragglers
+    straggler_rank = data.get("straggler_rank")
+    if stragglers:
+        # Rendezvous equalize iteration times across the fleet, so the
+        # report's slowest-iteration pick is an arbitrary tie-break; the
+        # rank dragging everyone else is the meaningful answer.
+        straggler_rank = max(
+            (r for r in rows if r.rank in stragglers),
+            key=lambda r: (r.drag_us, r.iteration_us, -r.rank),
+        ).rank
+    elif straggler_rank is None and rows:
+        straggler_rank = max(rows, key=lambda r: r.iteration_us).rank
+
+    result = CriticalPathReport(
+        device=str(data.get("device", "")),
+        world_size=int(data.get("world_size") or len(rows)),
+        critical_path_us=critical,
+        mean_iteration_time_us=mean_iteration,
+        straggler_rank=straggler_rank,
+        stragglers=stragglers,
+        straggler_threshold_pct=straggler_threshold_pct,
+        ranks=rows,
+        source="cluster-report",
+    )
+
+    payload = _trace_payload(trace)
+    if payload is not None:
+        ops, collectives = _aggregate_slices(payload)
+        result.source = "cluster-report+trace"
+        result.collectives = _merge_collectives(collectives)
+        focus = straggler_rank if straggler_rank in ops else None
+        if focus is not None:
+            result.dominant_ops = _top_ops(ops[focus], top)
+        dominant = None
+        if straggler_rank in collectives:
+            dominant = _dominant_collective(collectives[straggler_rank])
+        if dominant is None:
+            dominant = _dominant_collective(
+                {c.name: c for c in result.collectives}
+            )
+        result.dominant_collective = dominant
+    return result
+
+
+def analyze_replay_result(
+    result: Any,
+    rank: int = 0,
+    device: str = "",
+    top: int = 5,
+) -> CriticalPathReport:
+    """Attribute a single-rank :class:`ReplayResult`'s time.
+
+    Reads the category/exposed decomposition from ``timeline_stats`` and
+    ranks ops directly from the kernel launches, so it works without a
+    tracer attached.
+    """
+    summary = result.summarize()
+    iteration = float(summary.mean_iteration_time_us)
+    stats = result.timeline_stats
+    kernel_by_category = dict(getattr(stats, "category_kernel_time_us", {}) or {})
+    exposed_by_category = dict(getattr(stats, "category_exposed_time_us", {}) or {})
+    comm = float(kernel_by_category.get("comms", 0.0))
+    exposed = float(exposed_by_category.get("comms", 0.0))
+    row = RankPath(
+        rank=rank,
+        iteration_us=iteration,
+        compute_us=max(0.0, iteration - exposed),
+        comm_us=comm,
+        exposed_comm_us=exposed,
+        stall_us=0.0,
+        overlap_score=_overlap_score(comm, exposed),
+        critical_share_pct=100.0,
+        is_straggler=False,
+    )
+
+    ops: Dict[Tuple[str, str], List[float]] = {}
+    collectives: Dict[str, CollectiveAttribution] = {}
+    for launch in getattr(result, "kernel_launches", ()):
+        category = getattr(launch.category, "value", launch.category)
+        duration = max(0.0, float(launch.end) - float(launch.start))
+        bucket = ops.setdefault((launch.op_name, str(category)), [0.0, 0])
+        bucket[0] += duration
+        bucket[1] += 1
+        if category == "comms":
+            agg = collectives.setdefault(
+                collective_name(launch.op_name),
+                CollectiveAttribution(collective_name(launch.op_name)),
+            )
+            agg.total_us += duration
+            agg.count += 1
+    # Spread the single-rank exposed time across collectives by their
+    # share of total comm time — per-op exposure is not tracked here.
+    total_comm = sum(c.total_us for c in collectives.values())
+    if total_comm > 0:
+        for agg in collectives.values():
+            agg.exposed_us = exposed * (agg.total_us / total_comm)
+
+    return CriticalPathReport(
+        device=device,
+        world_size=1,
+        critical_path_us=iteration,
+        mean_iteration_time_us=iteration,
+        straggler_rank=rank,
+        stragglers=[],
+        straggler_threshold_pct=DEFAULT_STRAGGLER_THRESHOLD_PCT,
+        ranks=[row],
+        dominant_ops=_top_ops(ops, top),
+        dominant_collective=_dominant_collective(collectives),
+        collectives=sorted(
+            collectives.values(),
+            key=lambda c: (-c.visible_us, -c.total_us, c.name),
+        ),
+        source="replay-result",
+    )
+
+
+def _overlap_score(comm_us: float, exposed_us: float) -> float:
+    """Fraction of comm time hidden behind compute (1.0 = fully hidden)."""
+    if comm_us <= 0:
+        return 1.0
+    return max(0.0, min(1.0, 1.0 - exposed_us / comm_us))
+
+
+def format_critical_path(report: CriticalPathReport, top: int = 5) -> str:
+    """Human-readable rendering for the CLI's non-``--json`` path."""
+    from repro.bench.reporting import format_table
+
+    lines = [
+        f"critical path: {report.critical_path_us:.1f} us "
+        f"(mean {report.mean_iteration_time_us:.1f} us, "
+        f"skew {report.skew_pct:+.1f}%)",
+        f"straggler rank: {report.straggler_rank}"
+        + (f"  flagged: {report.stragglers}" if report.stragglers else ""),
+    ]
+    if report.dominant_collective:
+        lines.append(f"dominant collective: {report.dominant_collective}")
+    rank_rows = [
+        [
+            str(r.rank),
+            f"{r.iteration_us:.1f}",
+            f"{r.compute_us:.1f}",
+            f"{r.comm_us:.1f}",
+            f"{r.exposed_comm_us:.1f}",
+            f"{r.stall_us:.1f}",
+            f"{r.overlap_score:.2f}",
+            f"{r.critical_share_pct:.1f}",
+            "*" if r.is_straggler else "",
+        ]
+        for r in report.ranks
+    ]
+    lines.append("")
+    lines.append(
+        format_table(
+            [
+                "rank",
+                "iter_us",
+                "compute_us",
+                "comm_us",
+                "exposed_us",
+                "stall_us",
+                "overlap",
+                "share%",
+                "straggler",
+            ],
+            rank_rows,
+        )
+    )
+    if report.dominant_ops:
+        op_rows = [
+            [
+                op.name,
+                op.category,
+                f"{op.total_us:.1f}",
+                str(op.count),
+                f"{op.share_pct:.1f}",
+            ]
+            for op in report.dominant_ops[:top]
+        ]
+        lines.append("")
+        lines.append(
+            format_table(
+                ["op", "category", "total_us", "count", "share%"], op_rows
+            )
+        )
+    if report.collectives:
+        coll_rows = [
+            [
+                c.name,
+                f"{c.total_us:.1f}",
+                f"{c.exposed_us:.1f}",
+                f"{c.stall_us:.1f}",
+                f"{c.visible_us:.1f}",
+                str(c.count),
+            ]
+            for c in report.collectives
+        ]
+        lines.append("")
+        lines.append(
+            format_table(
+                [
+                    "collective",
+                    "total_us",
+                    "exposed_us",
+                    "stall_us",
+                    "visible_us",
+                    "count",
+                ],
+                coll_rows,
+            )
+        )
+    return "\n".join(lines)

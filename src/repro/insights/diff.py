@@ -1,0 +1,319 @@
+"""Run-to-run diffing: attribute the time delta between two runs.
+
+A :class:`RunProfile` is a normalized view of where a run spent its
+time — per pipeline stage (wall seconds), per Gantt category, per op,
+and per rank (virtual microseconds) — extractable from any of the
+artifacts the repo already produces: a telemetry trace payload, a
+:class:`~repro.cluster.engine.ClusterReport` (or its dict), or a
+:class:`ReplayResult`.  :func:`diff_runs` then attributes the
+end-to-end delta along each dimension, so "this change made replay 18%
+slower" becomes "the all_to_all class absorbed 96% of the slowdown".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Mapping, Optional
+
+from repro.insights.critical_path import GANTT_CATEGORIES, _OP_CATEGORIES
+from repro.insights.schema import INSIGHTS_SCHEMA_VERSION
+
+#: End-to-end growth (percent) below which a diff is considered noise.
+DEFAULT_DIFF_THRESHOLD_PCT = 2.0
+
+
+@dataclass
+class RunProfile:
+    """Where one run spent its time, normalized across artifact kinds."""
+
+    label: str
+    source: str
+    end_to_end_us: float = 0.0
+    by_stage_s: Dict[str, float] = field(default_factory=dict)
+    by_category_us: Dict[str, float] = field(default_factory=dict)
+    by_op_us: Dict[str, float] = field(default_factory=dict)
+    by_rank_us: Dict[str, float] = field(default_factory=dict)
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "label": self.label,
+            "source": self.source,
+            "end_to_end_us": self.end_to_end_us,
+            "by_stage_s": dict(self.by_stage_s),
+            "by_category_us": dict(self.by_category_us),
+            "by_op_us": dict(self.by_op_us),
+            "by_rank_us": dict(self.by_rank_us),
+        }
+
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_trace(cls, trace: Any, label: str = "trace") -> "RunProfile":
+        """Extract from a :class:`Tracer` or its ``to_dict()`` payload."""
+        payload = trace.to_dict() if hasattr(trace, "to_dict") else trace
+        profile = cls(label=label, source="trace")
+        window_start: Optional[float] = None
+        window_end: Optional[float] = None
+        for span in payload.get("spans", ()):
+            category = span.get("category")
+            wall_start = span.get("wall_start_s")
+            wall_end = span.get("wall_end_s")
+            if (
+                category == "pipeline"
+                and wall_start is not None
+                and wall_end is not None
+            ):
+                name = span.get("name", "")
+                profile.by_stage_s[name] = profile.by_stage_s.get(name, 0.0) + (
+                    float(wall_end) - float(wall_start)
+                )
+            if category not in GANTT_CATEGORIES:
+                continue
+            start = span.get("virtual_start_us")
+            end = span.get("virtual_end_us")
+            if start is None or end is None:
+                continue
+            start, end = float(start), float(end)
+            duration = max(0.0, end - start)
+            window_start = start if window_start is None else min(window_start, start)
+            window_end = end if window_end is None else max(window_end, end)
+            profile.by_category_us[category] = (
+                profile.by_category_us.get(category, 0.0) + duration
+            )
+            if category in _OP_CATEGORIES:
+                name = span.get("name", "")
+                profile.by_op_us[name] = profile.by_op_us.get(name, 0.0) + duration
+            if category in ("compute", "exposed-comms", "stall"):
+                # The serial occupancy of the rank's lane — overlapped
+                # comms would double-count against compute.
+                rank = str((span.get("correlation") or {}).get("rank", 0))
+                profile.by_rank_us[rank] = (
+                    profile.by_rank_us.get(rank, 0.0) + duration
+                )
+        if window_start is not None and window_end is not None:
+            profile.end_to_end_us = window_end - window_start
+        return profile
+
+    @classmethod
+    def from_cluster_report(cls, report: Any, label: str = "cluster") -> "RunProfile":
+        """Extract from a ``ClusterReport`` or its ``to_dict()`` payload."""
+        data = report.to_dict() if hasattr(report, "to_dict") else dict(report)
+        if data.get("kind") == "cluster" and "report" in data:
+            data = data["report"]
+        profile = cls(label=label, source="cluster-report")
+        profile.end_to_end_us = float(data.get("critical_path_us") or 0.0)
+        totals = {"compute": 0.0, "comms": 0.0, "exposed-comms": 0.0, "stall": 0.0}
+        for entry in data.get("ranks", ()):
+            iteration = float(entry.get("mean_iteration_time_us") or 0.0)
+            exposed = float(entry.get("exposed_comm_us") or 0.0)
+            stall = float(entry.get("stall_us") or 0.0)
+            totals["comms"] += float(entry.get("comm_time_us") or 0.0)
+            totals["exposed-comms"] += exposed
+            totals["stall"] += stall
+            totals["compute"] += max(0.0, iteration - exposed - stall)
+            profile.by_rank_us[str(entry.get("rank", 0))] = iteration
+        profile.by_category_us = {k: v for k, v in totals.items() if v}
+        return profile
+
+    @classmethod
+    def from_replay_result(cls, result: Any, label: str = "replay") -> "RunProfile":
+        """Extract from a single-rank :class:`ReplayResult`."""
+        profile = cls(label=label, source="replay-result")
+        summary = result.summarize()
+        profile.end_to_end_us = float(summary.mean_iteration_time_us)
+        stats = result.timeline_stats
+        for category, value in (
+            getattr(stats, "category_kernel_time_us", {}) or {}
+        ).items():
+            profile.by_category_us[str(category)] = float(value)
+        exposed = (getattr(stats, "category_exposed_time_us", {}) or {}).get(
+            "comms"
+        )
+        if exposed is not None:
+            profile.by_category_us["exposed-comms"] = float(exposed)
+        for launch in getattr(result, "kernel_launches", ()):
+            duration = max(0.0, float(launch.end) - float(launch.start))
+            profile.by_op_us[launch.op_name] = (
+                profile.by_op_us.get(launch.op_name, 0.0) + duration
+            )
+        profile.by_rank_us["0"] = profile.end_to_end_us
+        return profile
+
+    @classmethod
+    def from_any(cls, obj: Any, label: str = "run") -> "RunProfile":
+        """Sniff the artifact kind and dispatch.
+
+        Accepts a tracer/trace payload (has ``spans``), a cluster report
+        or its payload (has ``ranks``), a daemon cluster-job result
+        (``kind == "cluster"``), or a replay result (has
+        ``timeline_stats``).
+        """
+        if hasattr(obj, "spans") and hasattr(obj, "to_dict"):
+            return cls.from_trace(obj, label)
+        if hasattr(obj, "timeline_stats"):
+            return cls.from_replay_result(obj, label)
+        if hasattr(obj, "ranks"):
+            return cls.from_cluster_report(obj, label)
+        if isinstance(obj, Mapping):
+            if "spans" in obj:
+                return cls.from_trace(obj, label)
+            if obj.get("kind") == "cluster" or "ranks" in obj:
+                return cls.from_cluster_report(obj, label)
+        raise ValueError(
+            "cannot build a RunProfile from this artifact — expected a "
+            "telemetry trace payload, a cluster report, or a replay result"
+        )
+
+
+@dataclass
+class DiffEntry:
+    """One key's contribution to a dimension's delta."""
+
+    key: str
+    baseline: float
+    current: float
+    delta: float
+    share_pct: float
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "key": self.key,
+            "baseline": self.baseline,
+            "current": self.current,
+            "delta": self.delta,
+            "share_pct": self.share_pct,
+        }
+
+
+@dataclass
+class DiffReport:
+    """Attribution of the end-to-end delta between two runs."""
+
+    baseline_label: str
+    current_label: str
+    baseline_end_to_end_us: float
+    current_end_to_end_us: float
+    threshold_pct: float
+    by_stage: List[DiffEntry] = field(default_factory=list)
+    by_category: List[DiffEntry] = field(default_factory=list)
+    by_op: List[DiffEntry] = field(default_factory=list)
+    by_rank: List[DiffEntry] = field(default_factory=list)
+
+    @property
+    def delta_us(self) -> float:
+        return self.current_end_to_end_us - self.baseline_end_to_end_us
+
+    @property
+    def delta_pct(self) -> float:
+        if self.baseline_end_to_end_us <= 0:
+            return 0.0
+        return self.delta_us / self.baseline_end_to_end_us * 100.0
+
+    @property
+    def regressed(self) -> bool:
+        return self.delta_pct > self.threshold_pct
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "schema_version": INSIGHTS_SCHEMA_VERSION,
+            "kind": "diff",
+            "baseline": self.baseline_label,
+            "current": self.current_label,
+            "baseline_end_to_end_us": self.baseline_end_to_end_us,
+            "current_end_to_end_us": self.current_end_to_end_us,
+            "delta_us": self.delta_us,
+            "delta_pct": self.delta_pct,
+            "threshold_pct": self.threshold_pct,
+            "regressed": self.regressed,
+            "by_stage": [e.to_dict() for e in self.by_stage],
+            "by_category": [e.to_dict() for e in self.by_category],
+            "by_op": [e.to_dict() for e in self.by_op],
+            "by_rank": [e.to_dict() for e in self.by_rank],
+        }
+
+
+def _diff_dimension(
+    baseline: Mapping[str, float], current: Mapping[str, float]
+) -> List[DiffEntry]:
+    keys = sorted(set(baseline) | set(current))
+    deltas = {k: current.get(k, 0.0) - baseline.get(k, 0.0) for k in keys}
+    total = sum(deltas.values())
+    entries = [
+        DiffEntry(
+            key=key,
+            baseline=baseline.get(key, 0.0),
+            current=current.get(key, 0.0),
+            delta=deltas[key],
+            share_pct=(deltas[key] / total * 100.0) if total else 0.0,
+        )
+        for key in keys
+    ]
+    entries.sort(key=lambda e: (-abs(e.delta), e.key))
+    return entries
+
+
+def diff_runs(
+    baseline: RunProfile,
+    current: RunProfile,
+    threshold_pct: float = DEFAULT_DIFF_THRESHOLD_PCT,
+) -> DiffReport:
+    """Attribute ``current - baseline`` along every shared dimension.
+
+    Each entry's ``share_pct`` is its delta over the dimension's total
+    delta (signed — an op that got *faster* while the run got slower
+    shows a negative share).
+    """
+    return DiffReport(
+        baseline_label=baseline.label,
+        current_label=current.label,
+        baseline_end_to_end_us=baseline.end_to_end_us,
+        current_end_to_end_us=current.end_to_end_us,
+        threshold_pct=threshold_pct,
+        by_stage=_diff_dimension(baseline.by_stage_s, current.by_stage_s),
+        by_category=_diff_dimension(
+            baseline.by_category_us, current.by_category_us
+        ),
+        by_op=_diff_dimension(baseline.by_op_us, current.by_op_us),
+        by_rank=_diff_dimension(baseline.by_rank_us, current.by_rank_us),
+    )
+
+
+def format_diff(report: DiffReport, top: int = 8) -> str:
+    """Human-readable rendering for the CLI's non-``--json`` path."""
+    from repro.bench.reporting import format_table
+
+    lines = [
+        f"{report.baseline_label} -> {report.current_label}: "
+        f"{report.baseline_end_to_end_us:.1f} us -> "
+        f"{report.current_end_to_end_us:.1f} us "
+        f"({report.delta_us:+.1f} us, {report.delta_pct:+.2f}%)",
+        f"verdict: {'REGRESSED' if report.regressed else 'within threshold'} "
+        f"(threshold {report.threshold_pct:.1f}%)",
+    ]
+    for title, entries, unit in (
+        ("by category", report.by_category, "us"),
+        ("by op", report.by_op, "us"),
+        ("by rank", report.by_rank, "us"),
+        ("by stage", report.by_stage, "s"),
+    ):
+        shown = [e for e in entries if e.delta][:top]
+        if not shown:
+            continue
+        rows = [
+            [
+                e.key,
+                f"{e.baseline:.3f}",
+                f"{e.current:.3f}",
+                f"{e.delta:+.3f}",
+                f"{e.share_pct:+.1f}",
+            ]
+            for e in shown
+        ]
+        lines.append("")
+        lines.append(
+            format_table(
+                ["key", f"baseline_{unit}", f"current_{unit}", "delta", "share%"],
+                rows,
+                title=title,
+            )
+        )
+    return "\n".join(lines)

@@ -1,0 +1,87 @@
+"""Analysis of stored daemon job results.
+
+The daemon persists each completed job's result payload (a dict — the
+executor's output after a round-trip through the job store), so tenants
+can ask for a diagnosis without downloading traces.  This module
+dispatches on the result ``kind`` and produces the matching insights
+payload: critical-path attribution for cluster jobs, a spread/outlier
+summary for sweeps.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Mapping
+
+from repro.insights.critical_path import analyze_critical_path
+from repro.insights.schema import INSIGHTS_SCHEMA_VERSION
+
+
+def analyze_job_result(result: Mapping[str, Any]) -> Dict[str, Any]:
+    """Diagnose a completed job's stored result payload.
+
+    Raises :class:`ValueError` for result kinds with nothing to
+    analyze — the daemon maps that to HTTP 400.
+    """
+    kind = result.get("kind")
+    if kind == "cluster":
+        report = result.get("report")
+        if not isinstance(report, Mapping):
+            raise ValueError("cluster result carries no report to analyze")
+        return analyze_critical_path(report).to_dict()
+    if kind == "sweep":
+        return _analyze_sweep(result)
+    raise ValueError(f"cannot analyze job result of kind {kind!r}")
+
+
+def _analyze_sweep(result: Mapping[str, Any]) -> Dict[str, Any]:
+    """Rank sweep points by mean iteration time and summarize spread."""
+    points = result.get("points") or []
+    rows: List[Dict[str, Any]] = []
+    for point in points:
+        summary = point.get("summary") or {}
+        rows.append(
+            {
+                "label": point.get("label"),
+                "device": point.get("device"),
+                "cached": point.get("cached"),
+                "mean_iteration_time_us": summary.get("mean_iteration_time_us"),
+            }
+        )
+    timed = [
+        row
+        for row in rows
+        if isinstance(row["mean_iteration_time_us"], (int, float))
+    ]
+    timed.sort(key=lambda row: (-row["mean_iteration_time_us"], row["label"]))
+    slowest = timed[0] if timed else None
+    fastest = timed[-1] if timed else None
+    spread_pct = 0.0
+    if slowest and fastest and fastest["mean_iteration_time_us"] > 0:
+        spread_pct = (
+            (
+                slowest["mean_iteration_time_us"]
+                - fastest["mean_iteration_time_us"]
+            )
+            / fastest["mean_iteration_time_us"]
+            * 100.0
+        )
+    by_device: Dict[str, List[float]] = {}
+    for row in timed:
+        by_device.setdefault(str(row["device"]), []).append(
+            row["mean_iteration_time_us"]
+        )
+    return {
+        "schema_version": INSIGHTS_SCHEMA_VERSION,
+        "kind": "sweep",
+        "points": len(rows),
+        "cached": result.get("cached"),
+        "replayed": result.get("replayed"),
+        "slowest_point": slowest["label"] if slowest else None,
+        "fastest_point": fastest["label"] if fastest else None,
+        "spread_pct": spread_pct,
+        "mean_iteration_time_us_by_device": {
+            device: sum(values) / len(values)
+            for device, values in sorted(by_device.items())
+        },
+        "rows": rows,
+    }

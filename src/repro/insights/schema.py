@@ -1,0 +1,12 @@
+"""Schema version shared by every insights payload.
+
+Lives in its own module so :mod:`repro.insights` submodules can import
+it without going through the package ``__init__`` (which imports them).
+"""
+
+from __future__ import annotations
+
+#: Version stamped on every analysis payload (critical-path, diff,
+#: regression).  Adding keys is fine; renaming or removing existing
+#: ones is breaking.
+INSIGHTS_SCHEMA_VERSION = 1

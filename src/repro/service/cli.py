@@ -31,6 +31,13 @@ Seven subcommands drive the service layer:
 ``version``
     Print the package version (also ``repro --version``), so batch logs
     are attributable to a build.
+``analyze``
+    The :mod:`repro.insights` family: ``critical-path`` co-replays a
+    fleet and attributes what bounds end-to-end time (straggler rank,
+    dominant ops/collectives, comm/compute overlap per rank); ``diff``
+    attributes the delta between two saved runs per stage / op class /
+    rank; ``regressions`` checks the BENCH trajectory against its
+    recorded history and exits 1 on a perf drop.
 
 A second family of subcommands drives the replay daemon
 (:mod:`repro.daemon`, see ``docs/daemon.md``): ``serve`` runs the
@@ -223,9 +230,96 @@ def build_parser() -> argparse.ArgumentParser:
     version_parser = subparsers.add_parser("version", help="print the package version")
     version_parser.add_argument("--json", action="store_true", help="emit JSON")
 
+    _add_analyze_parsers(subparsers)
     _add_daemon_parsers(subparsers)
 
     return parser
+
+
+def _add_analyze_parsers(subparsers) -> None:
+    """The insights family: critical-path, diff, regressions."""
+    analyze_parser = subparsers.add_parser(
+        "analyze",
+        help="structured diagnoses: critical-path attribution, run diffs, "
+             "perf-regression watchdog (repro.insights)",
+    )
+    analyze_sub = analyze_parser.add_subparsers(dest="analyze_command", required=True)
+
+    cp_parser = analyze_sub.add_parser(
+        "critical-path",
+        help="co-replay a fleet and attribute its critical path "
+             "(straggler rank, dominant ops/collectives, overlap per rank)",
+    )
+    cp_parser.add_argument(
+        "trace_dir", metavar="TRACE_DIR",
+        help="directory holding one serialised execution trace per rank",
+    )
+    cp_parser.add_argument("--device", default="A100", help="device spec name (default: A100)")
+    cp_parser.add_argument(
+        "--world-size", "--world", type=int, default=None, metavar="N", dest="world",
+        help="world size collectives are priced at (default: the traces' recorded world size)",
+    )
+    cp_parser.add_argument(
+        "--topology", default=None, metavar="NAME",
+        choices=("flat", "nvlink-island", "rail-spine"),
+        help="hierarchical fabric preset pricing the collectives",
+    )
+    _add_config_arguments(cp_parser)
+    cp_parser.add_argument(
+        "--top", type=int, default=5, metavar="N",
+        help="dominant-op rows to report (default: 5)",
+    )
+    cp_parser.add_argument(
+        "--straggler-threshold", type=float, default=5.0, metavar="PCT",
+        help="flag ranks slower than the fleet mean by more than PCT%% (default: 5)",
+    )
+    cp_parser.add_argument("--json", action="store_true", help="emit JSON instead of tables")
+
+    diff_parser = analyze_sub.add_parser(
+        "diff",
+        help="attribute the end-to-end delta between two runs "
+             "(per stage / op class / rank)",
+    )
+    diff_parser.add_argument(
+        "baseline", metavar="BASELINE",
+        help="JSON artifact of the baseline run: a telemetry trace payload, "
+             "a replay-dist --json report, or a daemon cluster result body",
+    )
+    diff_parser.add_argument(
+        "current", metavar="CURRENT", help="JSON artifact of the run to compare",
+    )
+    diff_parser.add_argument(
+        "--threshold", type=float, default=2.0, metavar="PCT",
+        help="end-to-end growth below PCT%% counts as noise (default: 2)",
+    )
+    diff_parser.add_argument(
+        "--top", type=int, default=8, metavar="N",
+        help="rows per attribution table (default: 8)",
+    )
+    diff_parser.add_argument("--json", action="store_true", help="emit JSON instead of tables")
+
+    reg_parser = analyze_sub.add_parser(
+        "regressions",
+        help="check the BENCH trajectory for perf drops (exits 1 on regression)",
+    )
+    reg_parser.add_argument(
+        "--bench", default=None, metavar="PATH",
+        help="bench payload to check (default: the repo's BENCH_replay_throughput.json)",
+    )
+    reg_parser.add_argument(
+        "--history", default=None, metavar="PATH",
+        help="append-only JSON-lines trajectory store "
+             "(default: BENCH_history.jsonl next to the bench file)",
+    )
+    reg_parser.add_argument(
+        "--threshold", type=float, default=None, metavar="PCT",
+        help="relative drop vs the history median that fails (default: 30)",
+    )
+    reg_parser.add_argument(
+        "--record", action="store_true",
+        help="append this bench payload to the history after checking",
+    )
+    reg_parser.add_argument("--json", action="store_true", help="emit JSON instead of a table")
 
 
 def _add_daemon_parsers(subparsers) -> None:
@@ -481,6 +575,102 @@ def _cmd_replay_dist(args: argparse.Namespace) -> int:
             print()
             print(_format_cluster_memory(report))
     return 0
+
+
+def _cmd_analyze(args: argparse.Namespace) -> int:
+    if args.analyze_command == "critical-path":
+        return _cmd_analyze_critical_path(args)
+    if args.analyze_command == "diff":
+        return _cmd_analyze_diff(args)
+    return _cmd_analyze_regressions(args)
+
+
+def _cmd_analyze_critical_path(args: argparse.Namespace) -> int:
+    from repro.cluster.engine import ClusterMatchError, ClusterReplayError
+    from repro.insights import format_critical_path
+
+    session = (
+        api.replay_cluster(args.trace_dir)
+        .on(args.device)
+        .iterations(args.iterations, warmup=args.warmup)
+        .with_telemetry()
+    )
+    if args.world is not None:
+        session.world(args.world)
+    if args.topology is not None:
+        session.topology(args.topology)
+    try:
+        session.run()
+    except (ClusterMatchError, ClusterReplayError, OSError) as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 1
+    insights = session.analyze(
+        top=args.top, straggler_threshold_pct=args.straggler_threshold
+    )
+    if args.json:
+        print(serialize.dumps(serialize.critical_path_payload(insights)))
+    else:
+        print(format_critical_path(insights, top=args.top))
+    return 0
+
+
+def _cmd_analyze_diff(args: argparse.Namespace) -> int:
+    import json as _json
+    from pathlib import Path
+
+    from repro.insights import RunProfile, diff_runs, format_diff
+
+    profiles = []
+    for path_arg in (args.baseline, args.current):
+        path = Path(path_arg)
+        try:
+            payload = _json.loads(path.read_text())
+            profiles.append(RunProfile.from_any(payload, label=path.name))
+        except (OSError, ValueError) as error:
+            print(f"error: {path_arg}: {error}", file=sys.stderr)
+            return 1
+    report = diff_runs(profiles[0], profiles[1], threshold_pct=args.threshold)
+    if args.json:
+        print(serialize.dumps(serialize.diff_payload(report)))
+    else:
+        print(format_diff(report, top=args.top))
+    return 0
+
+
+def _cmd_analyze_regressions(args: argparse.Namespace) -> int:
+    import json as _json
+    from pathlib import Path
+
+    from repro.insights import (
+        DEFAULT_DROP_THRESHOLD_PCT,
+        TrajectoryStore,
+        check_regressions,
+        default_bench_path,
+        default_history_path,
+        format_regressions,
+    )
+
+    bench_path = Path(args.bench) if args.bench else default_bench_path()
+    try:
+        bench = _json.loads(bench_path.read_text())
+    except (OSError, ValueError) as error:
+        print(f"error: {bench_path}: {error}", file=sys.stderr)
+        return 1
+    history_path = Path(args.history) if args.history else default_history_path()
+    store = TrajectoryStore(history_path)
+    threshold = (
+        DEFAULT_DROP_THRESHOLD_PCT if args.threshold is None else args.threshold
+    )
+    report = check_regressions(
+        bench, history=store.history(), drop_threshold_pct=threshold
+    )
+    if args.record:
+        store.append(bench, meta={"bench_path": str(bench_path)})
+    if args.json:
+        print(serialize.dumps(serialize.regression_payload(report)))
+    else:
+        print(format_regressions(report))
+    return 0 if report.ok else 1
 
 
 def _cmd_memory_report(args: argparse.Namespace) -> int:
@@ -797,6 +987,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         "sweep": _cmd_sweep,
         "profile": _cmd_profile,
         "version": _cmd_version,
+        "analyze": _cmd_analyze,
         "serve": _cmd_serve,
         "submit": _cmd_submit,
         "status": _cmd_daemon_verb,

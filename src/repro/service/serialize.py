@@ -51,6 +51,11 @@ def dumps(payload: Any, indent: int = 2) -> str:
     return json.dumps(to_jsonable(payload), indent=indent)
 
 
+def dumps_compact(payload: Any) -> str:
+    """Single-line rendering for JSON-lines stores (no trailing newline)."""
+    return json.dumps(to_jsonable(payload), separators=(",", ":"), sort_keys=True)
+
+
 # ----------------------------------------------------------------------
 # Payload builders (one per subcommand output shape)
 # ----------------------------------------------------------------------
@@ -226,3 +231,35 @@ def telemetry_trace_payload(tracer) -> Dict[str, Any]:
     (``TELEMETRY_SCHEMA_VERSION``); the Chrome-trace exporter renders the
     same records for timeline viewers."""
     return tracer.to_dict()
+
+
+def critical_path_payload(report) -> Dict[str, Any]:
+    """``analyze critical-path``: the versioned
+    :class:`~repro.insights.CriticalPathReport` dict
+    (``INSIGHTS_SCHEMA_VERSION``)."""
+    return report.to_dict()
+
+
+def diff_payload(report) -> Dict[str, Any]:
+    """``analyze diff``: the versioned
+    :class:`~repro.insights.DiffReport` dict (``INSIGHTS_SCHEMA_VERSION``)."""
+    return report.to_dict()
+
+
+def regression_payload(report) -> Dict[str, Any]:
+    """``analyze regressions``: the versioned
+    :class:`~repro.insights.RegressionReport` dict
+    (``INSIGHTS_SCHEMA_VERSION``)."""
+    return report.to_dict()
+
+
+def job_analysis_payload(record, analysis: Mapping[str, Any]) -> Dict[str, Any]:
+    """``GET /jobs/<id>/analysis``: job identity plus its insights dict."""
+    from repro.daemon.jobs import DAEMON_SCHEMA_VERSION
+
+    return {
+        "schema_version": DAEMON_SCHEMA_VERSION,
+        "id": record.id,
+        "kind": record.spec.kind,
+        "analysis": dict(analysis),
+    }

@@ -27,6 +27,11 @@ surface:
     (compute / comms / exposed-comm / stall), written by
     ``python -m repro replay-dist --trace-out`` and
     ``session.export_trace()``.
+
+``logging``
+    :func:`get_logger` — structured JSON-lines logging that stamps the
+    tracer's current correlation scope onto every record (used by the
+    daemon's HTTP access log).
 """
 
 from repro.telemetry.tracer import (
@@ -48,6 +53,7 @@ from repro.telemetry.export import (
     to_chrome_trace,
     write_chrome_trace,
 )
+from repro.telemetry.logging import JsonLineFormatter, get_logger
 
 __all__ = [
     "TELEMETRY_SCHEMA_VERSION",
@@ -63,4 +69,6 @@ __all__ = [
     "record_cluster_timeline",
     "to_chrome_trace",
     "write_chrome_trace",
+    "JsonLineFormatter",
+    "get_logger",
 ]

@@ -1,0 +1,91 @@
+"""Structured JSON-lines logging stamped with tracer correlation.
+
+:func:`get_logger` returns a stdlib :class:`logging.Logger` whose
+records render as one JSON object per line.  When bound to a
+:class:`~repro.telemetry.tracer.Tracer`, every record is stamped with
+the calling thread's current correlation scope (``job_id`` /
+``sweep_point`` / ``rank`` / ...), so daemon access logs and worker
+logs correlate with spans without any caller cooperation.  Extra
+structured fields ride along via ``extra={"fields": {...}}``.
+"""
+
+from __future__ import annotations
+
+import json
+import logging
+import sys
+from typing import IO, Any, Dict, Optional
+
+#: Marker attribute tagging handlers this module installed, so repeated
+#: ``get_logger`` calls reconfigure rather than stack handlers.
+_HANDLER_TAG = "_repro_structured"
+
+
+class JsonLineFormatter(logging.Formatter):
+    """Render each record as a single JSON line.
+
+    Key order is fixed (``ts``, ``level``, ``logger``, ``message``,
+    then correlation, then extra fields sorted) so the lines diff
+    cleanly; values are stringified as a last resort rather than
+    raising from inside a logging call.
+    """
+
+    def __init__(self, tracer: Any = None) -> None:
+        super().__init__()
+        self.tracer = tracer
+
+    def format(self, record: logging.LogRecord) -> str:
+        payload: Dict[str, Any] = {
+            "ts": record.created,
+            "level": record.levelname.lower(),
+            "logger": record.name,
+            "message": record.getMessage(),
+        }
+        tracer = self.tracer
+        if tracer is not None:
+            correlation = tracer.current_correlation()
+            if correlation:
+                payload["correlation"] = dict(correlation)
+        fields = getattr(record, "fields", None)
+        if isinstance(fields, dict):
+            for key in sorted(fields):
+                if key not in payload:
+                    payload[key] = fields[key]
+        if record.exc_info and record.exc_info[0] is not None:
+            payload["exc_info"] = self.formatException(record.exc_info)
+        return json.dumps(payload, default=str)
+
+
+def get_logger(
+    name: str = "repro",
+    tracer: Any = None,
+    stream: Optional[IO[str]] = None,
+    level: int = logging.INFO,
+) -> logging.Logger:
+    """Get-or-configure a structured JSON-lines logger.
+
+    Idempotent per ``name``: calling again rebinds the existing
+    handler's tracer/stream instead of stacking a second handler, which
+    also lets tests redirect an already-wired logger by name.
+    Defaults to ``sys.stderr`` so log lines never corrupt ``--json``
+    output on stdout.
+    """
+    logger = logging.getLogger(name)
+    logger.setLevel(level)
+    logger.propagate = False
+    handler = next(
+        (h for h in logger.handlers if getattr(h, _HANDLER_TAG, False)), None
+    )
+    if handler is None:
+        handler = logging.StreamHandler(stream or sys.stderr)
+        setattr(handler, _HANDLER_TAG, True)
+        logger.addHandler(handler)
+    elif stream is not None:
+        handler.setStream(stream)
+    formatter = handler.formatter
+    if not isinstance(formatter, JsonLineFormatter):
+        formatter = JsonLineFormatter(tracer)
+        handler.setFormatter(formatter)
+    elif tracer is not None:
+        formatter.tracer = tracer
+    return logger

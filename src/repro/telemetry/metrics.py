@@ -5,14 +5,16 @@ strings, thread-safe updates, a versioned :meth:`MetricsRegistry.snapshot`
 payload (serialized through ``service/serialize.py``) and
 :meth:`MetricsRegistry.render_prometheus` producing the text format
 ``text/plain; version=0.0.4`` that the daemon's ``GET /metrics`` serves.
-No labels — the daemon's cardinality needs are covered by per-state
-counters, and keeping the model flat keeps exposition trivially correct.
+Metrics may carry *constant* labels (one label set per metric object,
+escaped per the exposition spec); there is no per-sample label fan-out —
+the daemon's cardinality needs are covered by per-state counters, and
+keeping the model flat keeps exposition trivially correct.
 """
 
 from __future__ import annotations
 
 import threading
-from typing import Any, Dict, List, Optional, Sequence, Tuple
+from typing import Any, Dict, List, Mapping, Optional, Sequence, Tuple
 
 #: Version of the snapshot payload schema.  Adding keys is fine;
 #: renaming or removing existing ones is breaking.
@@ -40,14 +42,46 @@ def _format_value(value: float) -> str:
     return repr(value)
 
 
+def _escape_help(text: str) -> str:
+    """``# HELP`` lines escape backslash and newline."""
+    return text.replace("\\", "\\\\").replace("\n", "\\n")
+
+
+def _escape_label_value(text: str) -> str:
+    """Label values additionally escape the double quote."""
+    return (
+        text.replace("\\", "\\\\").replace('"', '\\"').replace("\n", "\\n")
+    )
+
+
+def _render_labels(
+    labels: Optional[Mapping[str, str]],
+    extra: Optional[Tuple[str, str]] = None,
+) -> str:
+    """The ``{k="v",...}`` suffix for a sample line ('' when unlabelled)."""
+    pairs = [(k, str(v)) for k, v in (labels or {}).items()]
+    if extra is not None:
+        pairs.append(extra)
+    if not pairs:
+        return ""
+    body = ",".join(f'{k}="{_escape_label_value(v)}"' for k, v in pairs)
+    return "{" + body + "}"
+
+
 class Counter:
     """Monotonically increasing value."""
 
     kind = "counter"
 
-    def __init__(self, name: str, help: str = "") -> None:
+    def __init__(
+        self,
+        name: str,
+        help: str = "",
+        labels: Optional[Mapping[str, str]] = None,
+    ) -> None:
         self.name = name
         self.help = help
+        self.labels = dict(labels or {})
         self._lock = threading.Lock()
         self._value = 0.0
 
@@ -68,9 +102,11 @@ class Counter:
     def render(self) -> List[str]:
         lines = []
         if self.help:
-            lines.append(f"# HELP {self.name} {self.help}")
+            lines.append(f"# HELP {self.name} {_escape_help(self.help)}")
         lines.append(f"# TYPE {self.name} counter")
-        lines.append(f"{self.name} {_format_value(self.value)}")
+        lines.append(
+            f"{self.name}{_render_labels(self.labels)} {_format_value(self.value)}"
+        )
         return lines
 
 
@@ -79,9 +115,15 @@ class Gauge:
 
     kind = "gauge"
 
-    def __init__(self, name: str, help: str = "") -> None:
+    def __init__(
+        self,
+        name: str,
+        help: str = "",
+        labels: Optional[Mapping[str, str]] = None,
+    ) -> None:
         self.name = name
         self.help = help
+        self.labels = dict(labels or {})
         self._lock = threading.Lock()
         self._value = 0.0
 
@@ -104,9 +146,11 @@ class Gauge:
     def render(self) -> List[str]:
         lines = []
         if self.help:
-            lines.append(f"# HELP {self.name} {self.help}")
+            lines.append(f"# HELP {self.name} {_escape_help(self.help)}")
         lines.append(f"# TYPE {self.name} gauge")
-        lines.append(f"{self.name} {_format_value(self.value)}")
+        lines.append(
+            f"{self.name}{_render_labels(self.labels)} {_format_value(self.value)}"
+        )
         return lines
 
 
@@ -120,9 +164,11 @@ class Histogram:
         name: str,
         help: str = "",
         buckets: Sequence[float] = DEFAULT_BUCKETS,
+        labels: Optional[Mapping[str, str]] = None,
     ) -> None:
         self.name = name
         self.help = help
+        self.labels = dict(labels or {})
         self.buckets = tuple(sorted(buckets))
         self._lock = threading.Lock()
         self._bucket_counts = [0] * len(self.buckets)
@@ -151,18 +197,20 @@ class Histogram:
     def render(self) -> List[str]:
         lines = []
         if self.help:
-            lines.append(f"# HELP {self.name} {self.help}")
+            lines.append(f"# HELP {self.name} {_escape_help(self.help)}")
         lines.append(f"# TYPE {self.name} histogram")
+        suffix = _render_labels(self.labels)
         with self._lock:
-            cumulative = 0
+            # Bucket counts are already cumulative at observe() time.
             for bound, count in zip(self.buckets, self._bucket_counts):
-                cumulative = count  # counts are already cumulative per-bucket
-                lines.append(
-                    f'{self.name}_bucket{{le="{_format_value(bound)}"}} {cumulative}'
+                bucket_labels = _render_labels(
+                    self.labels, extra=("le", _format_value(bound))
                 )
-            lines.append(f'{self.name}_bucket{{le="+Inf"}} {self._count}')
-            lines.append(f"{self.name}_sum {_format_value(self._sum)}")
-            lines.append(f"{self.name}_count {self._count}")
+                lines.append(f"{self.name}_bucket{bucket_labels} {count}")
+            inf_labels = _render_labels(self.labels, extra=("le", "+Inf"))
+            lines.append(f"{self.name}_bucket{inf_labels} {self._count}")
+            lines.append(f"{self.name}_sum{suffix} {_format_value(self._sum)}")
+            lines.append(f"{self.name}_count{suffix} {self._count}")
         return lines
 
 
@@ -186,19 +234,30 @@ class MetricsRegistry:
                 )
             return metric
 
-    def counter(self, name: str, help: str = "") -> Counter:
-        return self._get_or_create(name, Counter, help=help)
+    def counter(
+        self,
+        name: str,
+        help: str = "",
+        labels: Optional[Mapping[str, str]] = None,
+    ) -> Counter:
+        return self._get_or_create(name, Counter, help=help, labels=labels)
 
-    def gauge(self, name: str, help: str = "") -> Gauge:
-        return self._get_or_create(name, Gauge, help=help)
+    def gauge(
+        self,
+        name: str,
+        help: str = "",
+        labels: Optional[Mapping[str, str]] = None,
+    ) -> Gauge:
+        return self._get_or_create(name, Gauge, help=help, labels=labels)
 
     def histogram(
         self,
         name: str,
         help: str = "",
         buckets: Optional[Sequence[float]] = None,
+        labels: Optional[Mapping[str, str]] = None,
     ) -> Histogram:
-        kwargs: Dict[str, Any] = {"help": help}
+        kwargs: Dict[str, Any] = {"help": help, "labels": labels}
         if buckets is not None:
             kwargs["buckets"] = buckets
         return self._get_or_create(name, Histogram, **kwargs)
@@ -232,9 +291,15 @@ class MetricsRegistry:
         }
 
     def render_prometheus(self) -> str:
-        """Prometheus text exposition format 0.0.4."""
+        """Prometheus text exposition format 0.0.4.
+
+        An empty registry renders as the empty string — no stray blank
+        line for parsers to trip on.
+        """
         with self._lock:
             metrics = sorted(self._metrics.values(), key=lambda m: m.name)
+        if not metrics:
+            return ""
         lines: List[str] = []
         for metric in metrics:
             lines.extend(metric.render())

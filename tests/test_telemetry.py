@@ -178,6 +178,76 @@ class TestMetrics:
         assert registry.counter_totals() == {"c": 1.0}
 
 
+class TestPrometheusExpositionEdgeCases:
+    """Exposition-format corners a real scrape would trip on."""
+
+    def test_empty_registry_renders_empty_string(self):
+        assert MetricsRegistry().render_prometheus() == ""
+
+    def test_rendered_histogram_buckets_are_cumulative(self):
+        registry = MetricsRegistry()
+        histogram = registry.histogram("repro_lat", buckets=(0.1, 1.0, 10.0))
+        for value in (0.05, 0.5, 5.0, 50.0, 50.0):
+            histogram.observe(value)
+        samples = _parse_prometheus(registry.render_prometheus())
+        buckets = [
+            samples['repro_lat_bucket{le="0.1"}'],
+            samples['repro_lat_bucket{le="1"}'],
+            samples['repro_lat_bucket{le="10"}'],
+            samples['repro_lat_bucket{le="+Inf"}'],
+        ]
+        assert buckets == sorted(buckets), "bucket counts must not decrease"
+        assert buckets == [1.0, 2.0, 3.0, 5.0]
+        assert samples['repro_lat_bucket{le="+Inf"}'] == samples["repro_lat_count"]
+        assert samples["repro_lat_sum"] == pytest.approx(105.55)
+
+    def test_label_values_are_escaped(self):
+        registry = MetricsRegistry()
+        registry.counter(
+            "repro_weird",
+            "Weird labels.",
+            labels={"path": 'C:\\tmp', "note": 'say "hi"\nbye'},
+        ).inc(3)
+        text = registry.render_prometheus()
+        line = next(
+            l for l in text.splitlines() if l.startswith("repro_weird{")
+        )
+        assert '\\\\' in line  # backslash escaped
+        assert '\\"' in line  # quote escaped
+        assert "\\n" in line and "\n" not in line  # newline stays one line
+        samples = _parse_prometheus(text)
+        key = 'repro_weird{path="C:\\\\tmp",note="say \\"hi\\"\\nbye"}'
+        assert samples[key] == 3.0
+
+    def test_help_text_is_escaped(self):
+        registry = MetricsRegistry()
+        registry.gauge("repro_g", "line one\nline \\two").set(1.0)
+        text = registry.render_prometheus()
+        assert "# HELP repro_g line one\\nline \\\\two" in text
+        assert len(text.strip().splitlines()) == 3  # HELP, TYPE, sample
+        assert _parse_prometheus(text)["repro_g"] == 1.0
+
+    def test_constant_labels_compose_with_le(self):
+        registry = MetricsRegistry()
+        registry.histogram(
+            "repro_h", buckets=(1.0,), labels={"queue": "main"}
+        ).observe(0.5)
+        samples = _parse_prometheus(registry.render_prometheus())
+        assert samples['repro_h_bucket{queue="main",le="1"}'] == 1.0
+        assert samples['repro_h_bucket{queue="main",le="+Inf"}'] == 1.0
+        assert samples['repro_h_sum{queue="main"}'] == 0.5
+        assert samples['repro_h_count{queue="main"}'] == 1.0
+
+    def test_every_line_is_parseable(self):
+        registry = MetricsRegistry()
+        registry.counter("repro_a", "A.", labels={"k": "v"}).inc()
+        registry.gauge("repro_b").set(-2.5)
+        registry.histogram("repro_c", buckets=(0.5,)).observe(1.0)
+        text = registry.render_prometheus()
+        assert text.endswith("\n")
+        _parse_prometheus(text)  # raises on any malformed line
+
+
 # ----------------------------------------------------------------------
 # Pipeline instrumentation (single-rank session)
 # ----------------------------------------------------------------------
